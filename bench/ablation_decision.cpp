@@ -1,0 +1,81 @@
+// Ablation: sensitivity of the rule-taxonomy decision to its thresholds,
+// and rule-vs-cost-model agreement across the Fig. 3 parameter sets.
+//
+// The paper's selector is threshold-based ("a threshold that is tested at
+// run-time"); this sweep shows how many of the 21 Fig. 3 decisions flip as
+// the two most influential cut-points move.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "core/decision.hpp"
+#include "workloads/paramsets.hpp"
+
+int main() {
+  using namespace sapp;
+
+  const double scale = bench::workload_scale(0.1);
+  const unsigned threads = bench::software_threads(8);
+  std::printf("=== Ablation: decision thresholds (Fig. 3 rows, %u threads) "
+              "===\n\n", threads);
+
+  // Characterize all rows once.
+  const auto rows = workloads::fig3_rows(scale);
+  std::vector<PatternStats> stats;
+  for (const auto& r : rows)
+    stats.push_back(characterize(r.workload.input.pattern, threads));
+
+  // Baseline decisions.
+  const RuleThresholds base;
+  std::vector<SchemeKind> base_pick;
+  for (const auto& s : stats) base_pick.push_back(decide_rules(s).recommended);
+
+  Table t({"hash_sp_max", "rep_chr_min", "ll_shared_min", "flips",
+           "hash-picks", "rep-picks", "lw-picks", "ll-picks", "sel-picks"});
+  for (const double sp_max : {1.0, 3.0, 6.0}) {
+    for (const double chr_min : {1.0, 2.0, 4.0}) {
+      for (const double ll_min : {0.2, 0.35, 0.6}) {
+        RuleThresholds th = base;
+        th.hash_sp_max = sp_max;
+        th.rep_chr_min = chr_min;
+        th.ll_shared_min = ll_min;
+        int flips = 0;
+        int picks[5] = {0, 0, 0, 0, 0};
+        for (std::size_t i = 0; i < stats.size(); ++i) {
+          const SchemeKind k = decide_rules(stats[i], th).recommended;
+          if (k != base_pick[i]) ++flips;
+          switch (k) {
+            case SchemeKind::kHash: ++picks[0]; break;
+            case SchemeKind::kRep: ++picks[1]; break;
+            case SchemeKind::kLocalWrite: ++picks[2]; break;
+            case SchemeKind::kLinked: ++picks[3]; break;
+            case SchemeKind::kSelective: ++picks[4]; break;
+            default: break;
+          }
+        }
+        t.add_row({Table::num(sp_max, 1), Table::num(chr_min, 1),
+                   Table::num(ll_min, 2),
+                   Table::num(static_cast<long long>(flips)),
+                   Table::num(static_cast<long long>(picks[0])),
+                   Table::num(static_cast<long long>(picks[1])),
+                   Table::num(static_cast<long long>(picks[2])),
+                   Table::num(static_cast<long long>(picks[3])),
+                   Table::num(static_cast<long long>(picks[4]))});
+      }
+    }
+  }
+  t.print();
+
+  // Rule vs model agreement at the defaults.
+  ThreadPool pool(2);
+  const MachineCoeffs mc = MachineCoeffs::calibrate(pool);
+  int agree = 0;
+  for (std::size_t i = 0; i < stats.size(); ++i) {
+    const auto m = decide_model(
+        stats[i], rows[i].workload.input.pattern.body_flops, mc);
+    if (m.recommended == base_pick[i]) ++agree;
+  }
+  std::printf("\nrule-taxonomy vs cost-model agreement at defaults: %d/%zu "
+              "rows\n", agree, stats.size());
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Ablation: the directory's combine FP unit (§5.1.3).
+//
+// "Since a cache line contains several individual data elements, such
+//  execution units may become a bottleneck if their performance is too
+//  low. Luckily, all the elements of a line can be processed in parallel
+//  or in a pipelined fashion."
+//
+// Sweep: pipelined (II=3) vs. unpipelined (II=18 ≈ full latency per
+// element), and 1 vs. 2 units, on the combine-heaviest codes.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "sim/codegen.hpp"
+#include "workloads/paramsets.hpp"
+
+int main() {
+  using namespace sapp;
+  using namespace sapp::sim;
+
+  const double scale = bench::workload_scale(0.15);
+  std::printf("=== Ablation: combine FP unit (PCLR Hw, 16 nodes, scale "
+              "%.2f) ===\n\n", scale);
+
+  const auto rows = workloads::table2_rows(scale);
+  Table t({"App", "Units", "II cy", "Loop Mcy", "Flush Mcy", "Total Mcy"});
+  for (const auto& row : rows) {
+    struct Cfg {
+      unsigned units;
+      unsigned ii;
+    };
+    for (const Cfg c : {Cfg{1, 3}, Cfg{1, 18}, Cfg{2, 3}, Cfg{2, 18}}) {
+      MachineConfig cfg = MachineConfig::paper(16);
+      cfg.fp_units = c.units;
+      cfg.fp_initiation = c.ii;
+      const auto r = simulate_reduction(row.workload, Mode::kHw, cfg);
+      t.add_row({row.workload.app,
+                 Table::num(static_cast<long long>(c.units)),
+                 Table::num(static_cast<long long>(c.ii)),
+                 Table::num(r.phase("loop") / 1e6, 3),
+                 Table::num(r.phase("merge") / 1e6, 3),
+                 Table::num(r.total_cycles / 1e6, 3)});
+    }
+  }
+  t.print();
+  std::printf("\nAn unpipelined adder (II=18) stretches the flush and can "
+              "back up displacement combining into the loop; a second unit "
+              "recovers most of it — matching the paper's \"pipeline it or "
+              "add units\" remedy.\n");
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Ablation: cache-line size vs. PCLR behaviour.
+//
+// A reduction line is combined whole (every element through the FP unit),
+// so longer lines mean fewer, heavier combines and more neutral-element
+// slots per displaced line; shorter lines mean more combine transactions.
+// §5.1.3's bottleneck discussion is about exactly this traffic.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "sim/codegen.hpp"
+#include "workloads/paramsets.hpp"
+
+int main() {
+  using namespace sapp;
+  using namespace sapp::sim;
+
+  const double scale = bench::workload_scale(0.15);
+  std::printf("=== Ablation: line size (PCLR Hw, 16 nodes, scale %.2f) "
+              "===\n\n", scale);
+
+  const auto rows = workloads::table2_rows(scale);
+  Table t({"App", "Line B", "Total Mcy", "Fills", "Displaced", "Flushed",
+           "Combines"});
+  for (const auto& row : rows) {
+    for (const unsigned line : {32u, 64u, 128u}) {
+      MachineConfig cfg = MachineConfig::paper(16);
+      cfg.line_bytes = line;
+      const auto r = simulate_reduction(row.workload, Mode::kHw, cfg);
+      t.add_row({row.workload.app,
+                 Table::num(static_cast<long long>(line)),
+                 Table::num(r.total_cycles / 1e6, 3),
+                 Table::num(static_cast<long long>(r.counters.red_fills)),
+                 Table::num(static_cast<long long>(
+                     r.counters.red_lines_displaced)),
+                 Table::num(static_cast<long long>(
+                     r.counters.red_lines_flushed)),
+                 Table::num(static_cast<long long>(r.counters.combines))});
+    }
+  }
+  t.print();
+  std::printf("\nLonger lines amortize fills but combine more neutral "
+              "elements per write-back; 64 B (the paper's size) balances "
+              "the two for these access densities.\n");
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Ablation: shared-data page placement vs. loop scaling.
+//
+// "Pages of shared data are allocated in the memory module of the first
+//  processor that accesses them" (§6.1) — but *who touches first* depends
+//  on how the program initializes its inputs. This sweep shows the three
+//  regimes: master-initialized inputs (everything homed at node 0),
+//  OS page interleaving, and parallel (reader-local) initialization.
+//  Placement does not change what PCLR does; it changes how much the loop
+//  phase scales — often the difference between a 4x and a 14x application.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "sim/codegen.hpp"
+#include "workloads/paramsets.hpp"
+
+int main() {
+  using namespace sapp;
+  using namespace sapp::sim;
+
+  const double scale = bench::workload_scale(0.15);
+  std::printf("=== Ablation: input page placement (PCLR Hw, 16 nodes, "
+              "scale %.2f) ===\n\n", scale);
+
+  const auto rows = workloads::table2_rows(scale);
+  Table t({"App", "Placement", "Loop Mcy", "Total Mcy", "Speedup"});
+  struct Policy {
+    MachineConfig::InputPlacement pl;
+    const char* name;
+  };
+  const Policy policies[] = {
+      {MachineConfig::InputPlacement::kMaster, "master"},
+      {MachineConfig::InputPlacement::kRoundRobin, "round-robin"},
+      {MachineConfig::InputPlacement::kReaderLocal, "reader-local"},
+  };
+  for (const auto& row : rows) {
+    MachineConfig cfg = MachineConfig::paper(16);
+    const auto seq =
+        simulate_reduction(row.workload, Mode::kSeq, cfg).total_cycles;
+    for (const Policy& pol : policies) {
+      cfg.input_placement = pol.pl;
+      const auto r = simulate_reduction(row.workload, Mode::kHw, cfg);
+      t.add_row({row.workload.app, pol.name,
+                 Table::num(r.phase("loop") / 1e6, 3),
+                 Table::num(r.total_cycles / 1e6, 3),
+                 Table::num(static_cast<double>(seq) / r.total_cycles, 1)});
+    }
+  }
+  t.print();
+  std::printf("\nInput-heavy codes (Nbf streams 800 B of pair list per "
+              "iteration) are most sensitive; compute-heavy ones barely "
+              "notice. The paper's per-application speedup spread (4x-15.6x "
+              "under the same hardware) lives in exactly this kind of "
+              "difference.\n");
+  return 0;
+}

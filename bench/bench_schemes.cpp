@@ -1,0 +1,106 @@
+// Micro-benchmarks (google-benchmark): per-scheme cost across pattern
+// shapes — the raw material behind the ToolBox cost models.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "reductions/registry.hpp"
+#include "workloads/workload.hpp"
+
+namespace {
+
+using namespace sapp;
+
+ThreadPool& pool() {
+  static ThreadPool p(2);
+  return p;
+}
+
+/// Pattern shapes spanning the taxonomy's regimes.
+workloads::SynthParams shape(int id) {
+  workloads::SynthParams p;
+  p.seed = 1234 + id;
+  switch (id) {
+    case 0:  // dense reuse, small array (rep territory)
+      p.dim = 8192;
+      p.distinct = 6000;
+      p.iterations = 100000;
+      p.refs_per_iter = 2;
+      break;
+    case 1:  // moderate, mesh-local (lw territory)
+      p.dim = 262144;
+      p.distinct = 30000;
+      p.iterations = 60000;
+      p.refs_per_iter = 2;
+      p.locality = 0.95;
+      p.window = 64;
+      break;
+    case 2:  // low sharing (sel territory)
+      p.dim = 131072;
+      p.distinct = 40000;
+      p.iterations = 80000;
+      p.refs_per_iter = 1;
+      p.locality = 0.9;
+      break;
+    default:  // very sparse scatter (hash territory)
+      p.dim = 1 << 20;
+      p.distinct = 3000;
+      p.iterations = 4000;
+      p.refs_per_iter = 24;
+      p.locality = 0.2;
+      break;
+  }
+  return p;
+}
+
+void BM_Scheme(benchmark::State& state) {
+  const auto kind = static_cast<SchemeKind>(state.range(0));
+  const auto in = workloads::make_synthetic(shape(static_cast<int>(state.range(1))));
+  const auto scheme = make_scheme(kind);
+  if (!scheme->applicable(in.pattern)) {
+    state.SkipWithError("scheme not applicable");
+    return;
+  }
+  const auto plan = scheme->plan(in.pattern, pool().size());
+  std::vector<double> out(in.pattern.dim, 0.0);
+  for (auto _ : state) {
+    scheme->execute(plan.get(), in, pool(), out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(in.pattern.num_refs()));
+  state.SetLabel(std::string(to_string(kind)));
+}
+
+void BM_SchemePlan(benchmark::State& state) {
+  const auto kind = static_cast<SchemeKind>(state.range(0));
+  const auto in = workloads::make_synthetic(shape(2));
+  const auto scheme = make_scheme(kind);
+  if (!scheme->applicable(in.pattern)) {
+    state.SkipWithError("scheme not applicable");
+    return;
+  }
+  for (auto _ : state) {
+    auto plan = scheme->plan(in.pattern, pool().size());
+    benchmark::DoNotOptimize(plan.get());
+  }
+  state.SetLabel(std::string(to_string(kind)) + "-inspector");
+}
+
+}  // namespace
+
+BENCHMARK(BM_Scheme)
+    ->ArgsProduct({{static_cast<long>(sapp::SchemeKind::kRep),
+                    static_cast<long>(sapp::SchemeKind::kLocalWrite),
+                    static_cast<long>(sapp::SchemeKind::kLinked),
+                    static_cast<long>(sapp::SchemeKind::kSelective),
+                    static_cast<long>(sapp::SchemeKind::kHash)},
+                   {0, 1, 2, 3}})
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK(BM_SchemePlan)
+    ->Args({static_cast<long>(sapp::SchemeKind::kLocalWrite)})
+    ->Args({static_cast<long>(sapp::SchemeKind::kSelective)})
+    ->Args({static_cast<long>(sapp::SchemeKind::kHash)})
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

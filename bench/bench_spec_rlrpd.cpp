@@ -1,0 +1,72 @@
+// R-LRPD benchmark (§3, ref [5]): speedup of speculative execution of
+// partially parallel loops as a function of dependence density.
+//
+// "We have implemented the Recursive LRPD test and applied it to the three
+//  most important loops in TRACK ... prior to this technique, TRACK was
+//  considered sequential." The TRACK loops have a few genuine
+//  cross-iteration dependences in otherwise parallel work; this harness
+//  sweeps that density.
+#include <cstdio>
+
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "common/timer.hpp"
+#include "spec/rlrpd.hpp"
+
+int main() {
+  using namespace sapp;
+  constexpr std::size_t kN = 30000;
+  constexpr std::size_t kDim = 40000;
+  constexpr int kWork = 800;  // flops per iteration (TRACK-like heavy body)
+
+  ThreadPool pool(4);
+  std::printf("=== R-LRPD: partially parallel loops (N=%zu, %u threads) "
+              "===\n\n", kN, pool.size());
+
+  Table t({"dep density", "rounds", "committed", "re-executed", "seq ms",
+           "rlrpd ms", "speedup"});
+  for (const double density : {0.0, 0.0005, 0.002, 0.01, 0.05}) {
+    // Dependence pairs: iteration s writes a flag element, iteration
+    // s + gap reads it. Pairs scattered deterministically.
+    Rng rng(99);
+    std::vector<std::uint8_t> reads_flag(kN, 0), writes_flag(kN, 0);
+    const auto deps = static_cast<std::size_t>(density * kN);
+    for (std::size_t d = 0; d < deps; ++d) {
+      const std::size_t src = rng.below(kN - 200);
+      const std::size_t sink = src + 20 + rng.below(150);
+      writes_flag[src] = 1;
+      reads_flag[sink] = 1;
+    }
+
+    const SpecLoopBody body = [&](std::size_t i, SpecArray& a) {
+      double x = 1.0 + static_cast<double>(i % 7);
+      for (int k = 0; k < kWork; ++k) x = x * 0.999 + 0.01;  // heavy body
+      if (writes_flag[i]) a.write(static_cast<std::uint32_t>(kDim - 1), x);
+      if (reads_flag[i])
+        x += a.read(static_cast<std::uint32_t>(kDim - 1));
+      a.reduce_add(static_cast<std::uint32_t>(i % (kDim - 2)), x);
+    };
+
+    std::vector<double> seq(kDim, 0.0), par(kDim, 0.0);
+    Timer ts;
+    sequential_execute(kN, body, seq);
+    const double seq_s = ts.seconds();
+
+    ts.restart();
+    const RlrpdStats st = rlrpd_execute(kN, body, par, pool);
+    const double par_s = ts.seconds();
+
+    t.add_row({Table::num(density, 4),
+               Table::num(static_cast<long long>(st.rounds)),
+               Table::num(static_cast<long long>(st.committed)),
+               Table::num(static_cast<long long>(st.reexecuted)),
+               Table::num(seq_s * 1e3, 1), Table::num(par_s * 1e3, 1),
+               Table::num(seq_s / par_s, 2)});
+  }
+  t.print();
+  std::printf("\nAt density 0 the loop commits in one round (plain LRPD "
+              "pass); as genuine dependences appear, only the suffix past "
+              "each earliest sink re-executes, so useful speedup survives "
+              "moderate densities — the paper's TRACK result.\n");
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Shared helpers for the benchmark harnesses.
+#pragma once
+
+#include <cstdlib>
+#include <string>
+
+namespace sapp::bench {
+
+/// Workload scale factor: 1.0 reproduces the paper's sizes; the default is
+/// reduced so `for b in build/bench/*; do $b; done` finishes in minutes.
+/// Set SAPP_FULL=1 for full-size runs, or SAPP_SCALE=<0..1> explicitly.
+inline double workload_scale(double default_scale) {
+  if (const char* full = std::getenv("SAPP_FULL");
+      full != nullptr && full[0] == '1')
+    return 1.0;
+  if (const char* s = std::getenv("SAPP_SCALE"); s != nullptr) {
+    const double v = std::atof(s);
+    if (v > 0.0 && v <= 1.0) return v;
+  }
+  return default_scale;
+}
+
+/// Thread count for software-scheme measurements (the paper used 8
+/// processors; the host decides what is realistic).
+inline unsigned software_threads(unsigned fallback = 8) {
+  if (const char* s = std::getenv("SAPP_THREADS"); s != nullptr) {
+    const int v = std::atoi(s);
+    if (v >= 1 && v <= 256) return static_cast<unsigned>(v);
+  }
+  return fallback;
+}
+
+}  // namespace sapp::bench

@@ -1,0 +1,126 @@
+// Figure 3 — validation of adaptive reduction-algorithm selection.
+//
+// For every row of the paper's table (6 applications × input sizes) this
+// harness:
+//   1. generates the workload from the official parameter set,
+//   2. characterizes the reference pattern (MO, DIM, SP, CON, CHR, ...),
+//   3. asks both deciders (cost model / rule taxonomy) for a
+//      recommendation,
+//   4. measures every applicable scheme from the library and reports the
+//      experimental ordering (best first),
+// and finally scores the recommendations against the measured winners —
+// the same validation the paper's table performs.
+//
+// Host caveat: the paper measured on 8 processors of a dedicated SMP; by
+// default this harness uses min(8, 2 x hardware threads). Rankings are the
+// reproducible object, not absolute speedups. SAPP_THREADS overrides.
+#include <algorithm>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "core/adaptive.hpp"
+#include "workloads/paramsets.hpp"
+
+namespace {
+
+using namespace sapp;
+
+struct Measured {
+  SchemeKind kind;
+  double seconds;
+};
+
+std::string order_string(std::vector<Measured> ms) {
+  std::sort(ms.begin(), ms.end(),
+            [](const Measured& a, const Measured& b) {
+              return a.seconds < b.seconds;
+            });
+  std::string out;
+  for (std::size_t i = 0; i < ms.size(); ++i) {
+    if (i) out += ">=";
+    out += to_string(ms[i].kind);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const double scale = bench::workload_scale(0.3);
+  const unsigned hw = std::max(2u, std::thread::hardware_concurrency());
+  const unsigned threads = bench::software_threads(std::min(8u, 2 * hw));
+  constexpr int kReps = 3;
+
+  std::printf("=== Figure 3: adaptive reduction-scheme selection ===\n"
+              "threads: %u (paper: 8 processors), workload scale: %.2f, "
+              "best of %d runs\n\n",
+              threads, scale, kReps);
+
+  ThreadPool pool(threads);
+  const MachineCoeffs coeffs = MachineCoeffs::calibrate(pool);
+
+  Table t({"App", "Input", "MO", "SP%", "CON", "CHR", "Model", "Rules",
+           "Paper", "Measured order", "Paper order"});
+
+  int model_hits = 0, rule_hits = 0, paper_hits = 0, rows_counted = 0;
+  for (const auto& row : workloads::fig3_rows(scale)) {
+    const auto& w = row.workload;
+    const auto& in = w.input;
+
+    const PatternStats stats = characterize(in.pattern, threads);
+    const Decision model = decide_model(stats, in.pattern.body_flops, coeffs);
+    const Decision rules = decide_rules(stats);
+
+    // Measure every applicable candidate. The paper's run-time system pays
+    // the inspector and the private-storage allocation at run time, so the
+    // ranking charges plan + execute (best of kReps full runs).
+    std::vector<Measured> measured;
+    std::vector<double> out(in.pattern.dim);
+    for (SchemeKind kind : candidate_scheme_kinds()) {
+      const auto scheme = make_scheme(kind);
+      if (!scheme->applicable(in.pattern)) continue;
+      double best = 1e300;
+      for (int rep = 0; rep < kReps; ++rep) {
+        std::fill(out.begin(), out.end(), 0.0);
+        const SchemeResult r = scheme->run(in, pool, out);
+        best = std::min(best, r.total_with_inspect_s());
+      }
+      measured.push_back({kind, best});
+    }
+    const SchemeKind winner =
+        std::min_element(measured.begin(), measured.end(),
+                         [](const Measured& a, const Measured& b) {
+                           return a.seconds < b.seconds;
+                         })
+            ->kind;
+
+    ++rows_counted;
+    if (model.recommended == winner) ++model_hits;
+    if (rules.recommended == winner) ++rule_hits;
+    if (w.paper.recommended == to_string(winner)) ++paper_hits;
+
+    t.add_row({w.app, Table::num(static_cast<long long>(in.pattern.dim)),
+               Table::num(stats.mo, 2), Table::num(stats.sp, 2),
+               Table::num(stats.con, 1), Table::num(stats.chr, 2),
+               std::string(to_string(model.recommended)),
+               std::string(to_string(rules.recommended)),
+               w.paper.recommended, order_string(measured),
+               w.paper.measured_order});
+  }
+  t.print();
+
+  std::printf("\n-- Decision quality (recommendation == measured winner on "
+              "this host) --\n");
+  std::printf("  cost model : %d/%d rows\n", model_hits, rows_counted);
+  std::printf("  rule table : %d/%d rows\n", rule_hits, rows_counted);
+  std::printf("  paper's recommendation vs our measured winner: %d/%d "
+              "(pattern stats are host/definition dependent)\n",
+              paper_hits, rows_counted);
+  std::printf("\nPaper's own model matched its measurements on 16/21 rows; "
+              "stat definitions under-specified in the paper are documented "
+              "in EXPERIMENTS.md.\n");
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Figure 6 — execution time under Sw / Hw / Flex on a 16-node CC-NUMA,
+// normalized to Sw and broken into Init / Loop / Merge, with speedups over
+// sequential execution printed above each bar (here: as columns).
+//
+// Paper reference values (16 nodes):
+//   speedups  Sw / Hw / Flex
+//   Euler     1.3 /  4.0 /  3.5
+//   Equake    7.3 / 14.0 / 10.6
+//   Vml       3.1 /  6.1 /  5.0
+//   Charmm    1.9 /  9.9 /  7.7
+//   Nbf       9.1 / 15.6 / 14.2
+//   harmonic means: Sw 2.7, Hw 7.6, Flex 6.4.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "sim/codegen.hpp"
+#include "workloads/paramsets.hpp"
+
+namespace {
+
+using namespace sapp;
+using namespace sapp::sim;
+
+struct AppResult {
+  std::string app;
+  Cycle seq;
+  RunResult sw, hw, flex;
+};
+
+double spd(Cycle seq, const RunResult& r) {
+  return static_cast<double>(seq) / static_cast<double>(r.total_cycles);
+}
+
+}  // namespace
+
+int main() {
+  const double scale = bench::workload_scale(0.25);
+  const MachineConfig cfg = MachineConfig::paper(16);
+
+  std::printf("=== Figure 6: PCLR vs software-only reductions (16 nodes) "
+              "===\n%s\nworkload scale: %.2f (SAPP_FULL=1 for paper "
+              "sizes)\n\n",
+              cfg.table1().c_str(), scale);
+
+  std::vector<AppResult> results;
+  for (const auto& row : workloads::table2_rows(scale)) {
+    AppResult r;
+    r.app = row.workload.app;
+    r.seq = simulate_reduction(row.workload, Mode::kSeq, cfg).total_cycles;
+    r.sw = simulate_reduction(row.workload, Mode::kSw, cfg);
+    r.hw = simulate_reduction(row.workload, Mode::kHw, cfg);
+    r.flex = simulate_reduction(row.workload, Mode::kFlex, cfg);
+    results.push_back(std::move(r));
+    std::printf("simulated %-7s seq=%.2fMcy sw=%.2fMcy hw=%.2fMcy "
+                "flex=%.2fMcy\n",
+                results.back().app.c_str(), results.back().seq / 1e6,
+                results.back().sw.total_cycles / 1e6,
+                results.back().hw.total_cycles / 1e6,
+                results.back().flex.total_cycles / 1e6);
+  }
+
+  std::printf("\n-- Normalized execution time (Sw = 1.00), phase "
+              "breakdown --\n");
+  Table t({"App", "Scheme", "Init", "Loop", "Merge", "Total",
+           "Speedup", "Paper-speedup"});
+  const auto rows = workloads::table2_rows(scale);
+  std::vector<double> sw_spd, hw_spd, flex_spd;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    const double sw_total = static_cast<double>(r.sw.total_cycles);
+    auto add = [&](const char* name, const RunResult& run, double paper) {
+      t.add_row({r.app, name,
+                 Table::num(run.phase("init") / sw_total, 3),
+                 Table::num(run.phase("loop") / sw_total, 3),
+                 Table::num(run.phase("merge") / sw_total, 3),
+                 Table::num(run.total_cycles / sw_total, 3),
+                 Table::num(spd(r.seq, run), 1), Table::num(paper, 1)});
+    };
+    add("Sw", r.sw, rows[i].paper_speedup_sw);
+    add("Hw", r.hw, rows[i].paper_speedup_hw);
+    add("Flex", r.flex, rows[i].paper_speedup_flex);
+    sw_spd.push_back(spd(r.seq, r.sw));
+    hw_spd.push_back(spd(r.seq, r.hw));
+    flex_spd.push_back(spd(r.seq, r.flex));
+  }
+  t.print();
+
+  std::printf("\n-- Harmonic-mean speedups (paper: Sw 2.7, Hw 7.6, Flex "
+              "6.4) --\n");
+  std::printf("  Sw   %.2f\n  Hw   %.2f\n  Flex %.2f\n",
+              harmonic_mean(sw_spd), harmonic_mean(hw_spd),
+              harmonic_mean(flex_spd));
+  std::printf("  Flex vs Hw gap: %.0f%% (paper: ~16%%)\n",
+              100.0 * (1.0 - harmonic_mean(flex_spd) / harmonic_mean(hw_spd)));
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Figure 7 — harmonic mean of the speedups delivered by Sw / Hw / Flex at
+// 4, 8 and 16 processors.
+//
+// Paper shape: Hw and Flex scale well (Hw reaching ~7.6 at 16 procs, Flex
+// ~16% below); Sw flattens early because the merge step does not shrink
+// with more processors (Amdahl's law on the merge).
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "sim/codegen.hpp"
+#include "workloads/paramsets.hpp"
+
+int main() {
+  using namespace sapp;
+  using namespace sapp::sim;
+
+  const double scale = bench::workload_scale(0.15);
+  std::printf("=== Figure 7: speedup scalability (harmonic mean over the "
+              "Table 2 codes) ===\nworkload scale: %.2f\n\n", scale);
+
+  const auto rows = workloads::table2_rows(scale);
+
+  Table t({"Procs", "Hw", "Flex", "Sw", "Sw-merge-frac"});
+  for (unsigned procs : {4u, 8u, 16u}) {
+    const MachineConfig cfg = MachineConfig::paper(procs);
+    std::vector<double> sw, hw, fx;
+    double merge_frac_acc = 0.0;
+    for (const auto& row : rows) {
+      const auto seq =
+          simulate_reduction(row.workload, Mode::kSeq, cfg).total_cycles;
+      const auto rs = simulate_reduction(row.workload, Mode::kSw, cfg);
+      const auto rh = simulate_reduction(row.workload, Mode::kHw, cfg);
+      const auto rf = simulate_reduction(row.workload, Mode::kFlex, cfg);
+      sw.push_back(static_cast<double>(seq) / rs.total_cycles);
+      hw.push_back(static_cast<double>(seq) / rh.total_cycles);
+      fx.push_back(static_cast<double>(seq) / rf.total_cycles);
+      merge_frac_acc += static_cast<double>(rs.phase("merge")) /
+                        static_cast<double>(rs.total_cycles);
+    }
+    t.add_row({Table::num(static_cast<long long>(procs)),
+               Table::num(harmonic_mean(hw), 2),
+               Table::num(harmonic_mean(fx), 2),
+               Table::num(harmonic_mean(sw), 2),
+               Table::num(merge_frac_acc / rows.size(), 2)});
+  }
+  t.print();
+  std::printf("\npaper at 16 procs: Hw 7.6, Flex 6.4, Sw 2.7; Sw flattens "
+              "because its merge phase is constant in P.\n");
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Table 2 — application characteristics, including the two simulation-
+// derived columns: reduction lines flushed at the end of the loop and
+// reduction lines displaced (combined in the background) during the loop,
+// both measured on the 16-processor PCLR (Hw) configuration.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "core/characterize.hpp"
+#include "sim/codegen.hpp"
+#include "workloads/paramsets.hpp"
+
+int main() {
+  using namespace sapp;
+  using namespace sapp::sim;
+
+  // Full size by default: the flushed/displaced columns are meaningful
+  // only when the reduction arrays have their paper footprints (Hw-only
+  // runs keep this cheap).
+  const double scale = bench::workload_scale(1.0);
+  const MachineConfig cfg = MachineConfig::paper(16);
+  std::printf("=== Table 2: application characteristics (16-processor "
+              "simulation) ===\nworkload scale: %.2f — paper values in "
+              "(parentheses)\n\n", scale);
+
+  Table t({"Appl.", "Loop", "Iters/inv", "Instr/iter", "RedOps/iter",
+           "RedArray KB", "Lines flushed", "Lines displaced"});
+  for (const auto& row : workloads::table2_rows(scale)) {
+    const auto& w = row.workload;
+    const auto& p = w.input.pattern;
+    const auto hw = simulate_reduction(w, Mode::kHw, cfg);
+
+    const double red_per_iter = static_cast<double>(p.num_refs()) /
+                                static_cast<double>(p.iterations());
+    const double kb =
+        static_cast<double>(p.dim) * sizeof(double) / 1024.0;
+    auto with_paper = [](std::string got, std::string paper) {
+      return got + " (" + paper + ")";
+    };
+    t.add_row({w.app, w.loop,
+               with_paper(Table::num(static_cast<long long>(p.iterations())),
+                          Table::num(static_cast<long long>(
+                              row.paper_iters))),
+               with_paper(Table::num(static_cast<long long>(
+                              w.instr_per_iter)),
+                          Table::num(static_cast<long long>(
+                              row.paper_instr_per_iter))),
+               with_paper(Table::num(red_per_iter, 0),
+                          Table::num(static_cast<long long>(
+                              row.paper_red_per_iter))),
+               with_paper(Table::num(kb, 1), Table::num(row.paper_array_kb, 1)),
+               with_paper(Table::num(static_cast<long long>(
+                              hw.counters.red_lines_flushed)),
+                          Table::num(static_cast<long long>(
+                              row.paper_lines_flushed))),
+               with_paper(Table::num(static_cast<long long>(
+                              hw.counters.red_lines_displaced)),
+                          Table::num(static_cast<long long>(
+                              row.paper_lines_displaced)))});
+  }
+  t.print();
+  std::printf("\nNotes: flushed/displaced counts are per processor per "
+              "invocation summed over processors, as in the paper's last "
+              "two columns. Iteration counts scale with SAPP_SCALE; the "
+              "paper columns are the full-size values.\n");
+  return 0;
+}

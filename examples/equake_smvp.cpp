@@ -1,0 +1,60 @@
+// Sparse matrix-vector assembly (the Equake smvp loop) measured under
+// every scheme in the library, side by side with the adaptive choice —
+// a miniature of the Fig. 3 methodology on one workload.
+#include <algorithm>
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "core/adaptive.hpp"
+#include "workloads/workload.hpp"
+
+int main() {
+  using namespace sapp;
+
+  const auto w = workloads::make_equake(/*scale=*/0.5, /*seed=*/7);
+  const ReductionInput& in = w.input;
+  std::printf("Equake smvp: %zu rows, %zu reduction ops, array %.0f KB\n\n",
+              in.pattern.iterations(), in.pattern.num_refs(),
+              in.pattern.dim * sizeof(double) / 1024.0);
+
+  ThreadPool pool(4);
+  const MachineCoeffs coeffs = MachineCoeffs::calibrate(pool);
+
+  // Reference result for correctness checking.
+  std::vector<double> ref(in.pattern.dim, 0.0);
+  run_sequential(in, ref);
+
+  Table t({"Scheme", "Plan ms", "Init ms", "Loop ms", "Merge ms",
+           "Total ms", "Priv KB", "ok"});
+  std::vector<double> out(in.pattern.dim);
+  double best = 1e300;
+  SchemeKind best_kind{};
+  for (SchemeKind kind : candidate_scheme_kinds()) {
+    const auto scheme = make_scheme(kind);
+    if (!scheme->applicable(in.pattern)) continue;
+    std::fill(out.begin(), out.end(), 0.0);
+    const SchemeResult r = scheme->run(in, pool, out);
+    bool ok = true;
+    for (std::size_t e = 0; e < ref.size(); e += 37)
+      if (std::abs(ref[e] - out[e]) > 1e-6) ok = false;
+    t.add_row({std::string(to_string(kind)), Table::num(r.inspect_s * 1e3),
+               Table::num(r.phases.init_s * 1e3),
+               Table::num(r.phases.loop_s * 1e3),
+               Table::num(r.phases.merge_s * 1e3),
+               Table::num(r.total_with_inspect_s() * 1e3),
+               Table::num(r.private_bytes / 1024.0, 0), ok ? "yes" : "NO"});
+    if (r.total_with_inspect_s() < best) {
+      best = r.total_with_inspect_s();
+      best_kind = kind;
+    }
+  }
+  t.print();
+
+  // What would the adaptive runtime have picked?
+  const PatternStats stats = characterize(in.pattern, pool.size());
+  const Decision d = decide_model(stats, in.pattern.body_flops, coeffs);
+  std::printf("\nmeasured winner : %s\n", to_string(best_kind).data());
+  std::printf("model pick      : %s (%s)\n", to_string(d.recommended).data(),
+              d.rationale.c_str());
+  return 0;
+}

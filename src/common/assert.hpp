@@ -1,0 +1,37 @@
+// Assertion macros for the SmartApps library.
+//
+// SAPP_ASSERT is compiled out in NDEBUG builds and is for internal
+// invariants; SAPP_REQUIRE always fires and is for validating arguments at
+// public API boundaries (CppCoreGuidelines I.6/I.8: state preconditions).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace sapp {
+
+[[noreturn]] inline void
+assert_fail(const char* kind, const char* expr, const char* file, int line,
+            const char* msg) {
+  std::fprintf(stderr, "%s failed: %s\n  at %s:%d\n  %s\n", kind, expr, file,
+               line, msg ? msg : "");
+  std::abort();
+}
+
+}  // namespace sapp
+
+#define SAPP_REQUIRE(expr, msg)                                         \
+  do {                                                                  \
+    if (!(expr))                                                        \
+      ::sapp::assert_fail("precondition", #expr, __FILE__, __LINE__, msg); \
+  } while (0)
+
+#ifdef NDEBUG
+#define SAPP_ASSERT(expr, msg) ((void)0)
+#else
+#define SAPP_ASSERT(expr, msg)                                        \
+  do {                                                                \
+    if (!(expr))                                                      \
+      ::sapp::assert_fail("invariant", #expr, __FILE__, __LINE__, msg); \
+  } while (0)
+#endif

@@ -1,0 +1,50 @@
+// Centralized sense-reversing barrier.
+//
+// std::barrier carries completion-function machinery we do not need inside
+// scheme inner phases; this spin/yield barrier has the fixed-participant
+// semantics the reduction schemes want and is reusable across phases.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <thread>
+
+#include "common/assert.hpp"
+
+namespace sapp {
+
+/// Reusable barrier for a fixed set of `n` participants. `arrive_and_wait()`
+/// blocks (spinning, then yielding) until all participants arrive; the
+/// barrier immediately becomes reusable for the next phase.
+class SpinBarrier {
+ public:
+  explicit SpinBarrier(std::size_t n) : total_(n) {
+    SAPP_REQUIRE(n > 0, "barrier needs at least one participant");
+  }
+
+  SpinBarrier(const SpinBarrier&) = delete;
+  SpinBarrier& operator=(const SpinBarrier&) = delete;
+
+  void arrive_and_wait() {
+    const bool my_sense = !sense_.load(std::memory_order_relaxed);
+    if (count_.fetch_add(1, std::memory_order_acq_rel) + 1 == total_) {
+      count_.store(0, std::memory_order_relaxed);
+      sense_.store(my_sense, std::memory_order_release);
+    } else {
+      int spins = 0;
+      while (sense_.load(std::memory_order_acquire) != my_sense) {
+        if (++spins > 1024) {
+          std::this_thread::yield();  // polite on oversubscribed hosts
+          spins = 0;
+        }
+      }
+    }
+  }
+
+ private:
+  const std::size_t total_;
+  std::atomic<std::size_t> count_{0};
+  std::atomic<bool> sense_{false};
+};
+
+}  // namespace sapp

@@ -1,0 +1,103 @@
+// Deterministic pseudo-random number generation.
+//
+// All workload generators take an explicit `Rng` so every experiment in the
+// repository is reproducible from a seed. xoshiro256** (Blackman & Vigna) is
+// used for its speed and statistical quality; SplitMix64 seeds the state.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "common/assert.hpp"
+
+namespace sapp {
+
+/// xoshiro256** engine. Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) {
+    // SplitMix64 expansion of the seed, per the xoshiro authors' guidance.
+    std::uint64_t x = seed;
+    for (auto& si : s_) {
+      x += 0x9E3779B97F4A7C15ull;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+      si = z ^ (z >> 31);
+    }
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). Uses Lemire's multiply-shift reduction
+  /// (bias negligible for the bounds used here).
+  std::uint64_t below(std::uint64_t bound) {
+    SAPP_REQUIRE(bound > 0, "bound must be positive");
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>((*this)()) * bound) >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Approximately normal deviate (Irwin–Hall sum of 12 uniforms; adequate
+  /// for workload shaping, not for statistics).
+  double normalish(double mean, double stddev) {
+    double acc = 0.0;
+    for (int i = 0; i < 12; ++i) acc += uniform();
+    return mean + (acc - 6.0) * stddev;
+  }
+
+  /// Zipf-like rank selection over [0, n): rank r chosen with probability
+  /// roughly proportional to 1/(r+1)^theta, via inverse-CDF of the
+  /// continuous bounded power law. Used for skewed reduction reference
+  /// histograms (the CH/CHD measures of the paper). theta <= 0 degrades to
+  /// uniform.
+  std::uint64_t zipf(std::uint64_t n, double theta) {
+    SAPP_REQUIRE(n > 0, "zipf needs a non-empty range");
+    if (theta <= 0.0) return below(n);
+    const double u = uniform();
+    const double nn = static_cast<double>(n);
+    double r;
+    const double exp1 = 1.0 - theta;
+    if (std::abs(exp1) > 1e-9) {
+      const double t = u * (std::pow(nn, exp1) - 1.0) + 1.0;
+      r = std::pow(t, 1.0 / exp1) - 1.0;
+    } else {  // theta == 1: harmonic; CDF ~ ln(1+r)/ln(1+n)
+      r = std::exp(u * std::log(nn + 1.0)) - 1.0;
+    }
+    auto idx = static_cast<std::uint64_t>(r);
+    return idx >= n ? n - 1 : idx;
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4];
+};
+
+}  // namespace sapp

@@ -1,0 +1,65 @@
+// Summary statistics used throughout the benchmark harnesses.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace sapp {
+
+/// Arithmetic mean of a sample; 0 for an empty span.
+inline double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double acc = 0.0;
+  for (double x : xs) acc += x;
+  return acc / static_cast<double>(xs.size());
+}
+
+/// Sample standard deviation (n-1 denominator); 0 for fewer than 2 points.
+inline double stddev(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double acc = 0.0;
+  for (double x : xs) acc += (x - m) * (x - m);
+  return std::sqrt(acc / static_cast<double>(xs.size() - 1));
+}
+
+/// Harmonic mean — the paper reports average speedups this way ("since
+/// there is a significant variation in speedup figures across applications,
+/// we report average results using the harmonic mean").
+inline double harmonic_mean(std::span<const double> xs) {
+  SAPP_REQUIRE(!xs.empty(), "harmonic mean of empty sample");
+  double acc = 0.0;
+  for (double x : xs) {
+    SAPP_REQUIRE(x > 0.0, "harmonic mean requires positive values");
+    acc += 1.0 / x;
+  }
+  return static_cast<double>(xs.size()) / acc;
+}
+
+/// Median (copies; fine for harness-sized samples).
+inline double median(std::span<const double> xs) {
+  SAPP_REQUIRE(!xs.empty(), "median of empty sample");
+  std::vector<double> v(xs.begin(), xs.end());
+  std::sort(v.begin(), v.end());
+  const std::size_t n = v.size();
+  return n % 2 == 1 ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]);
+}
+
+/// Minimum of a non-empty sample.
+inline double min_of(std::span<const double> xs) {
+  SAPP_REQUIRE(!xs.empty(), "min of empty sample");
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+/// Speedup of a parallel time against a sequential reference.
+inline double speedup(double seq_time, double par_time) {
+  SAPP_REQUIRE(par_time > 0.0, "parallel time must be positive");
+  return seq_time / par_time;
+}
+
+}  // namespace sapp

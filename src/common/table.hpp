@@ -1,0 +1,76 @@
+// Fixed-width plain-text table printer.
+//
+// The benchmark harnesses print rows in the same layout as the paper's
+// tables/figures; this helper keeps the columns aligned without dragging in
+// a formatting library.
+#pragma once
+
+#include <cstdio>
+#include <initializer_list>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace sapp {
+
+/// Column-aligned table. Add a header and rows of strings; `str()` renders
+/// with every column padded to its widest cell, `print()` writes to stdout.
+class Table {
+ public:
+  /// Start a table with the given column headers.
+  explicit Table(std::vector<std::string> header) : header_(std::move(header)) {
+    SAPP_REQUIRE(!header_.empty(), "table needs at least one column");
+  }
+
+  /// Append a data row; must match the header's column count.
+  void add_row(std::vector<std::string> row) {
+    SAPP_REQUIRE(row.size() == header_.size(),
+                 "row width must match header width");
+    rows_.push_back(std::move(row));
+  }
+
+  /// Convenience for numeric cells.
+  static std::string num(double v, int precision = 2) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+    return buf;
+  }
+  static std::string num(long long v) { return std::to_string(v); }
+  static std::string num(std::size_t v) { return std::to_string(v); }
+
+  [[nodiscard]] std::string str() const {
+    std::vector<std::size_t> w(header_.size(), 0);
+    auto widen = [&](const std::vector<std::string>& r) {
+      for (std::size_t c = 0; c < r.size(); ++c)
+        w[c] = r[c].size() > w[c] ? r[c].size() : w[c];
+    };
+    widen(header_);
+    for (const auto& r : rows_) widen(r);
+
+    std::ostringstream os;
+    auto emit = [&](const std::vector<std::string>& r) {
+      for (std::size_t c = 0; c < r.size(); ++c) {
+        os << r[c];
+        if (c + 1 < r.size())
+          os << std::string(w[c] - r[c].size() + 2, ' ');
+      }
+      os << '\n';
+    };
+    emit(header_);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < w.size(); ++c) total += w[c] + 2;
+    os << std::string(total > 2 ? total - 2 : total, '-') << '\n';
+    for (const auto& r : rows_) emit(r);
+    return os.str();
+  }
+
+  void print() const { std::fputs(str().c_str(), stdout); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace sapp

@@ -1,0 +1,77 @@
+#include "common/thread_pool.hpp"
+
+#include <atomic>
+
+#include "common/assert.hpp"
+
+namespace sapp {
+
+ThreadPool::ThreadPool(unsigned nthreads) : nthreads_(nthreads) {
+  SAPP_REQUIRE(nthreads >= 1, "pool needs at least one worker");
+  workers_.reserve(nthreads_);
+  for (unsigned t = 0; t < nthreads_; ++t)
+    workers_.emplace_back([this, t] { worker_main(t); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::scoped_lock lk(mu_);
+    stop_ = true;
+  }
+  cv_start_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_main(unsigned tid) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(unsigned)>* job;
+    {
+      std::unique_lock lk(mu_);
+      cv_start_.wait(lk, [&] { return stop_ || epoch_ != seen; });
+      if (stop_ && epoch_ == seen) return;
+      seen = epoch_;
+      job = job_;
+    }
+    (*job)(tid);
+    {
+      std::scoped_lock lk(mu_);
+      if (--remaining_ == 0) cv_done_.notify_one();
+    }
+  }
+}
+
+void ThreadPool::run(const std::function<void(unsigned)>& f) {
+  std::unique_lock lk(mu_);
+  job_ = &f;
+  remaining_ = nthreads_;
+  ++epoch_;
+  cv_start_.notify_all();
+  cv_done_.wait(lk, [&] { return remaining_ == 0; });
+  job_ = nullptr;
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(unsigned, Range)>& body) {
+  run([&](unsigned tid) {
+    const Range r = static_block(n, tid, nthreads_);
+    if (!r.empty()) body(tid, r);
+  });
+}
+
+void ThreadPool::parallel_for_dynamic(
+    std::size_t n, std::size_t chunk,
+    const std::function<void(unsigned, Range)>& body) {
+  SAPP_REQUIRE(chunk > 0, "chunk must be positive");
+  std::atomic<std::size_t> next{0};
+  run([&](unsigned tid) {
+    for (;;) {
+      const std::size_t lo = next.fetch_add(chunk, std::memory_order_relaxed);
+      if (lo >= n) break;
+      const std::size_t hi = lo + chunk < n ? lo + chunk : n;
+      body(tid, Range{lo, hi});
+    }
+  });
+}
+
+}  // namespace sapp

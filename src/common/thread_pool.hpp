@@ -1,0 +1,86 @@
+// Persistent fork-join thread pool.
+//
+// Every parallel region in the library runs on this pool: the reduction
+// schemes, the speculative-runtime substrate and the examples. Keeping the
+// workers alive across invocations removes thread create/join cost from the
+// measured phase times — the same property the paper's run-time library has.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sapp {
+
+/// Half-open iteration range assigned to one worker.
+struct Range {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  [[nodiscard]] std::size_t size() const { return end - begin; }
+  [[nodiscard]] bool empty() const { return begin >= end; }
+};
+
+/// Contiguous block of a [0, n) iteration space owned by thread `tid` out of
+/// `nthreads`, with remainder iterations spread over the leading threads.
+[[nodiscard]] constexpr Range static_block(std::size_t n, unsigned tid,
+                                           unsigned nthreads) {
+  const std::size_t per = n / nthreads;
+  const std::size_t rem = n % nthreads;
+  const std::size_t lo =
+      static_cast<std::size_t>(tid) * per + (tid < rem ? tid : rem);
+  const std::size_t len = per + (tid < rem ? 1 : 0);
+  return Range{lo, lo + len};
+}
+
+/// Fixed-size pool of worker threads executing fork-join parallel regions.
+///
+/// `run(f)` invokes `f(tid)` once on each of `size()` workers and returns
+/// when all have finished. `parallel_for` partitions an index range
+/// statically in blocks; `parallel_for_dynamic` hands out fixed-size chunks
+/// from a shared counter (self-scheduling).
+class ThreadPool {
+ public:
+  /// Create a pool with `nthreads` workers (>=1). The calling thread does
+  /// not participate; it blocks in `run` until the workers finish.
+  explicit ThreadPool(unsigned nthreads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] unsigned size() const { return nthreads_; }
+
+  /// Execute `f(tid)` on every worker; blocks until all complete.
+  /// Exceptions escaping `f` terminate (parallel regions must not throw,
+  /// matching the no-throw discipline of the schemes).
+  void run(const std::function<void(unsigned)>& f);
+
+  /// Statically blocked parallel loop over [0, n):
+  /// each worker receives one contiguous `Range`.
+  void parallel_for(std::size_t n,
+                    const std::function<void(unsigned, Range)>& body);
+
+  /// Dynamically scheduled parallel loop over [0, n) with chunks of
+  /// `chunk` iterations claimed from a shared counter.
+  void parallel_for_dynamic(std::size_t n, std::size_t chunk,
+                            const std::function<void(unsigned, Range)>& body);
+
+ private:
+  void worker_main(unsigned tid);
+
+  unsigned nthreads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  const std::function<void(unsigned)>* job_ = nullptr;
+  std::uint64_t epoch_ = 0;
+  unsigned remaining_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace sapp

@@ -1,0 +1,52 @@
+// Wall-clock timing helpers built on std::chrono::steady_clock.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace sapp {
+
+/// Monotonic stopwatch. Construction starts it; `seconds()` reads elapsed
+/// time without stopping; `restart()` resets the origin.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void restart() { start_ = Clock::now(); }
+
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  [[nodiscard]] double millis() const { return seconds() * 1e3; }
+  [[nodiscard]] double micros() const { return seconds() * 1e6; }
+  [[nodiscard]] std::uint64_t nanos() const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             start_)
+            .count());
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Phase timings common to all reduction schemes (and to the simulator's
+/// Fig. 6 breakdown): initialization of private storage, main loop body,
+/// and merge/flush of partial results.
+struct PhaseTimes {
+  double init_s = 0.0;
+  double loop_s = 0.0;
+  double merge_s = 0.0;
+
+  [[nodiscard]] double total() const { return init_s + loop_s + merge_s; }
+
+  PhaseTimes& operator+=(const PhaseTimes& o) {
+    init_s += o.init_s;
+    loop_s += o.loop_s;
+    merge_s += o.merge_s;
+    return *this;
+  }
+};
+
+}  // namespace sapp

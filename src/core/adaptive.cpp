@@ -1,0 +1,91 @@
+#include "core/adaptive.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "common/timer.hpp"
+
+namespace sapp {
+
+AdaptiveReducer::AdaptiveReducer(ThreadPool& pool, MachineCoeffs coeffs,
+                                 AdaptiveOptions opt)
+    : pool_(pool),
+      coeffs_(coeffs),
+      opt_(opt),
+      monitor_(opt.drift_threshold) {}
+
+AdaptiveReducer::~AdaptiveReducer() = default;
+
+SchemeKind AdaptiveReducer::current() const {
+  SAPP_REQUIRE(scheme_ != nullptr, "no invocation yet");
+  return scheme_->kind();
+}
+
+void AdaptiveReducer::characterize_and_decide(const AccessPattern& p) {
+  stats_ = characterize(p, pool_.size(), opt_.characterize);
+  decision_ = opt_.use_rule_decider
+                  ? decide_rules(stats_, opt_.rules)
+                  : decide_model(stats_, p.body_flops, coeffs_);
+  // The rule decider can pick an inapplicable scheme only through a bug;
+  // guard against selecting lw for an illegal loop either way.
+  if (decision_.recommended == SchemeKind::kLocalWrite &&
+      !p.iteration_replication_legal)
+    decision_.recommended = SchemeKind::kSelective;
+  adopt(decision_.recommended, p);
+  ++recharacterizations_;
+  monitor_.rebase(PatternSignature::of(p));
+  overruns_ = 0;
+  abandoned_.clear();
+}
+
+void AdaptiveReducer::adopt(SchemeKind kind, const AccessPattern& p) {
+  scheme_ = make_scheme(kind);
+  plan_ = scheme_->plan(p, pool_.size());
+}
+
+SchemeResult AdaptiveReducer::invoke(const ReductionInput& in,
+                                     std::span<double> out) {
+  SAPP_REQUIRE(in.consistent(), "values/pattern size mismatch");
+  SAPP_REQUIRE(out.size() == in.pattern.dim, "output size mismatch");
+  ++invocations_;
+
+  Timer inspect_timer;
+  if (scheme_ == nullptr) {
+    characterize_and_decide(in.pattern);
+  } else if (monitor_.observe(PatternSignature::of(in.pattern))) {
+    characterize_and_decide(in.pattern);
+  }
+  const double adapt_s = inspect_timer.seconds();
+
+  SchemeResult r = scheme_->execute(plan_.get(), in, pool_, out);
+  r.inspect_s += adapt_s;
+
+  // Feedback: compare measured against the model's prediction for the
+  // selected scheme; persistent overruns promote the runner-up.
+  double predicted = 0.0;
+  for (const auto& cp : decision_.predictions)
+    if (cp.scheme == scheme_->kind()) predicted = cp.total();
+  if (predicted > 0.0 && r.total_s() > opt_.mispredict_ratio * predicted) {
+    if (++overruns_ >= opt_.mispredict_patience) {
+      // The model was wrong about this scheme here: blacklist it and move
+      // to the best not-yet-tried alternative (no ping-pong).
+      abandoned_.push_back(scheme_->kind());
+      for (const auto& cp : decision_.predictions) {
+        const bool tried =
+            std::find(abandoned_.begin(), abandoned_.end(), cp.scheme) !=
+            abandoned_.end();
+        if (!tried && cp.applicable) {
+          adopt(cp.scheme, in.pattern);
+          ++switches_;
+          break;
+        }
+      }
+      overruns_ = 0;
+    }
+  } else {
+    overruns_ = 0;
+  }
+  return r;
+}
+
+}  // namespace sapp

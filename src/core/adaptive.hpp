@@ -1,0 +1,87 @@
+// AdaptiveReducer — the multi-version executor at the heart of SmartApps'
+// software reduction support (§4).
+//
+// One AdaptiveReducer manages one reduction loop site across its
+// invocations:
+//   * first invocation: characterize the pattern, decide a scheme (cost
+//     model or rule taxonomy), build its inspector plan, execute;
+//   * later invocations: reuse scheme + plan while the pattern is stable;
+//   * drift (PhaseMonitor) triggers re-characterization and re-decision;
+//   * sustained mispredictions (measured ≫ predicted) trigger a switch to
+//     the runner-up scheme — the Fig. 1 "monitor performance and adapt"
+//     feedback loop realized as library code.
+#pragma once
+
+#include <memory>
+#include <span>
+
+#include "core/decision.hpp"
+#include "core/phase_monitor.hpp"
+#include "reductions/registry.hpp"
+
+namespace sapp {
+
+/// Tunables of the adaptive loop.
+struct AdaptiveOptions {
+  CharacterizeOptions characterize{};
+  /// Use the rule taxonomy instead of the cost model (ablation).
+  bool use_rule_decider = false;
+  RuleThresholds rules{};
+  /// Accumulated pattern drift that triggers re-characterization.
+  double drift_threshold = 0.25;
+  /// Measured/predicted overrun that counts as a misprediction.
+  double mispredict_ratio = 2.0;
+  /// Consecutive mispredictions before switching to the runner-up.
+  int mispredict_patience = 3;
+};
+
+/// Adaptive multi-version reduction executor for one loop site.
+class AdaptiveReducer {
+ public:
+  AdaptiveReducer(ThreadPool& pool, MachineCoeffs coeffs,
+                  AdaptiveOptions opt = {});
+  ~AdaptiveReducer();
+
+  AdaptiveReducer(const AdaptiveReducer&) = delete;
+  AdaptiveReducer& operator=(const AdaptiveReducer&) = delete;
+
+  /// Execute one invocation of the loop, accumulating into `out`.
+  SchemeResult invoke(const ReductionInput& in, std::span<double> out);
+
+  /// Scheme currently selected (valid after the first invoke).
+  [[nodiscard]] SchemeKind current() const;
+  /// Last decision with predictions and rationale.
+  [[nodiscard]] const Decision& decision() const { return decision_; }
+  /// Stats of the last characterization.
+  [[nodiscard]] const PatternStats& stats() const { return stats_; }
+
+  [[nodiscard]] unsigned invocations() const { return invocations_; }
+  [[nodiscard]] unsigned recharacterizations() const {
+    return recharacterizations_;
+  }
+  [[nodiscard]] unsigned scheme_switches() const { return switches_; }
+
+ private:
+  void characterize_and_decide(const AccessPattern& p);
+  void adopt(SchemeKind kind, const AccessPattern& p);
+
+  ThreadPool& pool_;
+  MachineCoeffs coeffs_;
+  AdaptiveOptions opt_;
+  PhaseMonitor monitor_;
+
+  std::unique_ptr<Scheme> scheme_;
+  std::unique_ptr<SchemePlan> plan_;
+  Decision decision_{};
+  PatternStats stats_{};
+  /// Schemes abandoned after sustained overruns since the last
+  /// re-characterization (never returned to without new evidence).
+  std::vector<SchemeKind> abandoned_;
+
+  unsigned invocations_ = 0;
+  unsigned recharacterizations_ = 0;
+  unsigned switches_ = 0;
+  int overruns_ = 0;
+};
+
+}  // namespace sapp

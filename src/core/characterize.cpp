@@ -1,0 +1,173 @@
+#include "core/characterize.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/assert.hpp"
+#include "common/thread_pool.hpp"
+#include "reductions/scheme_lw.hpp"
+
+namespace sapp {
+
+namespace {
+
+/// Gini coefficient of the per-element reference counts: 0 when every
+/// referenced element is touched equally often, →1 when references pile
+/// onto few elements. This summarizes the CHD distribution.
+double gini_of_counts(const std::vector<std::uint32_t>& counts) {
+  std::vector<std::uint32_t> nz;
+  nz.reserve(counts.size());
+  for (auto c : counts)
+    if (c > 0) nz.push_back(c);
+  if (nz.size() < 2) return 0.0;
+  std::sort(nz.begin(), nz.end());
+  const double n = static_cast<double>(nz.size());
+  double cum = 0.0, weighted = 0.0;
+  for (std::size_t i = 0; i < nz.size(); ++i) {
+    cum += nz[i];
+    weighted += static_cast<double>(i + 1) * nz[i];
+  }
+  if (cum == 0.0) return 0.0;
+  return (2.0 * weighted) / (n * cum) - (n + 1.0) / n;
+}
+
+}  // namespace
+
+PatternStats characterize(const AccessPattern& p, unsigned threads,
+                          const CharacterizeOptions& opt) {
+  SAPP_REQUIRE(threads >= 1, "need at least one thread");
+  SAPP_REQUIRE(opt.sample_stride >= 1, "stride must be >= 1");
+
+  PatternStats s;
+  s.dim = p.dim;
+  s.iterations = p.refs.rows();
+  s.refs = p.refs.nnz();
+  s.threads = threads;
+  s.lw_legal = p.iteration_replication_legal;
+
+  const auto& ptr = p.refs.row_ptr();
+  const auto& idx = p.refs.indices();
+  const std::size_t n = s.iterations;
+  const std::size_t stride = opt.sample_stride;
+
+  // Per-element reference counts and per-thread touch masks, in one sweep
+  // over the (possibly sampled) iterations. kOwnerNone/kOwnerShared mirror
+  // the selective-privatization inspector.
+  std::vector<std::uint32_t> count(p.dim, 0);
+  constexpr std::uint8_t kOwnerNone = 0xFF;
+  constexpr std::uint8_t kOwnerShared = 0xFE;
+  std::vector<std::uint8_t> owner(p.dim, kOwnerNone);
+
+  std::size_t sampled_iters = 0;
+  std::size_t sampled_refs = 0;
+  std::size_t sum_iter_distinct = 0;
+  std::size_t sum_owner_sets = 0;  // Σ_i |owner threads of iteration i|
+  std::vector<std::size_t> lw_work(threads, 0);
+  std::vector<std::uint32_t> scratch;
+
+  for (std::size_t i = 0; i < n; i += stride) {
+    ++sampled_iters;
+    const unsigned tid = static_cast<unsigned>(
+        std::min<std::size_t>(threads - 1, i * threads / (n ? n : 1)));
+    scratch.clear();
+    for (std::uint64_t j = ptr[i]; j < ptr[i + 1]; ++j) {
+      const std::uint32_t e = idx[j];
+      SAPP_ASSERT(e < p.dim, "element out of range");
+      ++count[e];
+      ++sampled_refs;
+      auto& o = owner[e];
+      if (o == kOwnerNone)
+        o = static_cast<std::uint8_t>(tid);
+      else if (o != tid && o != kOwnerShared)
+        o = kOwnerShared;
+      scratch.push_back(e);
+    }
+    // Distinct elements of this iteration (MO numerator).
+    std::sort(scratch.begin(), scratch.end());
+    const auto uniq = static_cast<std::size_t>(
+        std::unique(scratch.begin(), scratch.end()) - scratch.begin());
+    sum_iter_distinct += uniq;
+    // Owner threads of this iteration (lw replication), via the same block
+    // partition of the element space lw uses.
+    std::size_t owners = 0;
+    unsigned last_owner = ~0u;
+    for (std::size_t k = 0; k < uniq; ++k) {
+      const unsigned t =
+          LocalWriteScheme<>::owner_of(scratch[k], p.dim, threads);
+      if (t != last_owner) {
+        // scratch sorted => same owner elements are adjacent
+        ++owners;
+        lw_work[t] += 1;
+        last_owner = t;
+      }
+    }
+    sum_owner_sets += owners;
+  }
+
+  // Scale sampled counts back to the full loop.
+  const double scale = static_cast<double>(stride);
+
+  std::size_t distinct = 0, shared = 0;
+  for (std::size_t e = 0; e < p.dim; ++e) {
+    if (count[e] > 0) ++distinct;
+    if (owner[e] == kOwnerShared) ++shared;
+  }
+  // Sampling misses elements; scale the distinct estimate but never past
+  // the array dimension (exact when stride == 1).
+  s.distinct = stride == 1
+                   ? distinct
+                   : std::min<std::size_t>(
+                         p.dim, static_cast<std::size_t>(distinct * scale));
+  s.refs = stride == 1 ? sampled_refs
+                       : static_cast<std::size_t>(sampled_refs * scale);
+
+  s.mo = sampled_iters ? static_cast<double>(sum_iter_distinct) /
+                             static_cast<double>(sampled_iters)
+                       : 0.0;
+  s.con = s.distinct ? static_cast<double>(s.refs) /
+                           static_cast<double>(s.distinct)
+                     : 0.0;
+  s.sp = p.dim ? 100.0 * static_cast<double>(s.distinct) /
+                     static_cast<double>(p.dim)
+               : 0.0;
+  s.dim_ratio = static_cast<double>(p.dim * sizeof(double)) /
+                static_cast<double>(opt.cache_bytes);
+  s.chr = p.dim ? static_cast<double>(s.refs) /
+                      (static_cast<double>(threads) *
+                       static_cast<double>(p.dim))
+                : 0.0;
+
+  // CH histogram (counts capped).
+  s.ch.assign(opt.ch_cap + 1, 0);
+  for (std::size_t e = 0; e < p.dim; ++e) {
+    if (count[e] == 0) continue;
+    const std::size_t k = std::min<std::size_t>(count[e], opt.ch_cap);
+    ++s.ch[k];
+  }
+  s.chd_gini = gini_of_counts(count);
+
+  // Thread-dependent measures. Touched-per-thread estimated from the owner
+  // classification: exclusives touch one thread, shared ones we charge to
+  // every thread that could see them (upper bound: threads).
+  const double excl = static_cast<double>(distinct - shared);
+  s.touched_per_thread =
+      threads ? (excl / threads + static_cast<double>(shared)) * scale : 0.0;
+  s.touched_per_thread = std::min(s.touched_per_thread,
+                                  static_cast<double>(p.dim));
+  s.shared_fraction =
+      distinct ? static_cast<double>(shared) / static_cast<double>(distinct)
+               : 0.0;
+  s.lw_replication = sampled_iters ? static_cast<double>(sum_owner_sets) /
+                                         static_cast<double>(sampled_iters)
+                                   : 0.0;
+  const double lw_total = static_cast<double>(
+      std::accumulate(lw_work.begin(), lw_work.end(), std::size_t{0}));
+  if (lw_total > 0.0) {
+    const double mx =
+        static_cast<double>(*std::max_element(lw_work.begin(), lw_work.end()));
+    s.lw_imbalance = mx / (lw_total / static_cast<double>(threads));
+  }
+  return s;
+}
+
+}  // namespace sapp

@@ -1,0 +1,64 @@
+// Drift detection for dynamic applications (§4).
+//
+// "If the program is dynamic then changes in the access pattern will be
+//  collected, as much as possible, in an incremental manner. When the
+//  changes are significant enough (a threshold that is tested at run-time)
+//  then a re-characterization of the reference pattern is needed."
+//
+// `PhaseMonitor` keeps a cheap signature of the last characterized pattern
+// and accumulates relative change across invocations; when the accumulated
+// change passes the threshold, the adaptive reducer re-characterizes and
+// re-decides.
+#pragma once
+
+#include <cstdint>
+
+#include "reductions/access_pattern.hpp"
+
+namespace sapp {
+
+/// O(sampled refs) signature of a pattern: sizes plus a sampled index sum,
+/// robust to small perturbations but sensitive to structural change.
+struct PatternSignature {
+  std::size_t dim = 0;
+  std::size_t iterations = 0;
+  std::size_t refs = 0;
+  std::uint64_t sampled_index_sum = 0;
+  std::uint64_t sampled_index_xor = 0;
+
+  static PatternSignature of(const AccessPattern& p,
+                             std::size_t sample_stride = 64);
+};
+
+/// Accumulates drift between the signature at the last (re)characterization
+/// and the current one.
+class PhaseMonitor {
+ public:
+  /// `threshold`: accumulated relative change (0..1 scale per component)
+  /// that triggers re-characterization.
+  explicit PhaseMonitor(double threshold = 0.25) : threshold_(threshold) {}
+
+  /// Rebase on a freshly characterized pattern.
+  void rebase(const PatternSignature& sig) {
+    base_ = sig;
+    last_ = sig;
+    have_base_ = true;
+    accumulated_ = 0.0;
+  }
+
+  /// Observe the pattern of the next invocation; returns true when the
+  /// accumulated drift demands re-characterization.
+  bool observe(const PatternSignature& sig);
+
+  [[nodiscard]] double accumulated() const { return accumulated_; }
+  [[nodiscard]] double threshold() const { return threshold_; }
+
+ private:
+  double threshold_;
+  double accumulated_ = 0.0;
+  PatternSignature base_{};
+  PatternSignature last_{};
+  bool have_base_ = false;
+};
+
+}  // namespace sapp

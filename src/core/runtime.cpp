@@ -1,0 +1,48 @@
+#include "core/runtime.hpp"
+
+#include <sstream>
+#include <thread>
+
+namespace sapp {
+
+SmartAppsRuntime::SmartAppsRuntime(Options opt) : opt_(opt) {
+  unsigned n = opt.threads;
+  if (n == 0) {
+    n = std::thread::hardware_concurrency();
+    if (n == 0) n = 2;
+  }
+  pool_ = std::make_unique<ThreadPool>(n);
+  coeffs_ = opt.calibrate ? MachineCoeffs::calibrate(*pool_)
+                          : MachineCoeffs::defaults();
+}
+
+AdaptiveReducer& SmartAppsRuntime::reducer(const std::string& name) {
+  auto it = sites_.find(name);
+  if (it == sites_.end()) {
+    it = sites_
+             .emplace(name, std::make_unique<AdaptiveReducer>(
+                                *pool_, coeffs_, opt_.adaptive))
+             .first;
+  }
+  return *it->second;
+}
+
+std::string SmartAppsRuntime::report() const {
+  std::ostringstream os;
+  os << "SmartAppsRuntime: " << pool_->size() << " threads, "
+     << sites_.size() << " loop site(s)\n";
+  for (const auto& [name, r] : sites_) {
+    os << "  site '" << name << "': ";
+    if (r->invocations() == 0) {
+      os << "never invoked\n";
+      continue;
+    }
+    os << to_string(r->current()) << " after " << r->invocations()
+       << " invocation(s), " << r->recharacterizations()
+       << " characterization(s), " << r->scheme_switches()
+       << " switch(es)\n    " << r->decision().rationale << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace sapp

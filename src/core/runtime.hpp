@@ -1,0 +1,49 @@
+// SmartAppsRuntime — the application-facing facade (Fig. 1 / Fig. 2).
+//
+// Owns the thread pool, the calibrated machine-coefficient database (the
+// ToolBox "system-specific database") and one AdaptiveReducer per loop
+// site. An application links against this and writes
+//
+//     SmartAppsRuntime rt({.threads = 8});
+//     auto& site = rt.reducer("ComputeForces");
+//     for (each timestep) site.invoke(input, forces);
+//
+// which is the shape of code the paper's run-time compiler would emit.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "core/adaptive.hpp"
+
+namespace sapp {
+
+class SmartAppsRuntime {
+ public:
+  struct Options {
+    unsigned threads = 0;      ///< 0 = hardware concurrency
+    bool calibrate = true;     ///< micro-calibrate MachineCoeffs at startup
+    AdaptiveOptions adaptive{};
+  };
+
+  SmartAppsRuntime() : SmartAppsRuntime(Options{}) {}
+  explicit SmartAppsRuntime(Options opt);
+
+  [[nodiscard]] ThreadPool& pool() { return *pool_; }
+  [[nodiscard]] const MachineCoeffs& coeffs() const { return coeffs_; }
+
+  /// The adaptive reducer for the loop site `name` (created on first use).
+  [[nodiscard]] AdaptiveReducer& reducer(const std::string& name);
+
+  /// Per-site summary: decisions, re-characterizations, switches.
+  [[nodiscard]] std::string report() const;
+
+ private:
+  Options opt_;
+  std::unique_ptr<ThreadPool> pool_;
+  MachineCoeffs coeffs_;
+  std::map<std::string, std::unique_ptr<AdaptiveReducer>> sites_;
+};
+
+}  // namespace sapp

@@ -1,0 +1,168 @@
+#include "frontend/loop_ir.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "common/assert.hpp"
+
+namespace sapp::frontend {
+
+namespace {
+
+bool is_commutative_update(Statement::Op op) {
+  switch (op) {
+    case Statement::Op::kPlusAssign:
+    case Statement::Op::kMulAssign:
+    case Statement::Op::kMaxAssign:
+      return true;
+    case Statement::Op::kAssign:
+      return false;
+  }
+  return false;
+}
+
+}  // namespace
+
+LoopAnalysis analyze(const LoopNest& loop) {
+  LoopAnalysis out;
+
+  // Collect every array the body reads (through ValueExpr::kArrayRead);
+  // a reduction variable must not appear there (§4 footnote: "x does not
+  // occur in exp or anywhere else in the loop").
+  std::set<std::string> read_arrays;
+  for (const Statement& st : loop.body)
+    if (st.value.kind == ValueExpr::Kind::kArrayRead)
+      read_arrays.insert(st.value.array);
+
+  // Per target array: check every statement.
+  std::set<std::string> targets;
+  for (const Statement& st : loop.body) targets.insert(st.target);
+
+  for (const std::string& t : targets) {
+    ArrayAnalysis aa;
+    aa.array = t;
+    aa.is_reduction = true;
+    bool first = true;
+    for (const Statement& st : loop.body) {
+      if (st.target != t) continue;
+      if (!is_commutative_update(st.op)) {
+        aa.is_reduction = false;
+        aa.reason = "plain assignment to " + t;
+        break;
+      }
+      if (first) {
+        aa.op = st.op;
+        first = false;
+      } else if (st.op != aa.op) {
+        // §5.1.4: one reduction operation type per loop; mixed operators
+        // must be distributed into separate loops first.
+        aa.single_operator = false;
+        aa.is_reduction = false;
+        aa.reason = "mixed reduction operators on " + t;
+        break;
+      }
+      if (st.value.kind == ValueExpr::Kind::kArrayRead &&
+          st.value.array == t) {
+        aa.is_reduction = false;
+        aa.reason = t + " occurs in its own update expression";
+        break;
+      }
+    }
+    if (aa.is_reduction && read_arrays.contains(t)) {
+      aa.is_reduction = false;
+      aa.reason = t + " is read elsewhere in the loop";
+    }
+    out.arrays.push_back(std::move(aa));
+  }
+
+  // Loop-level properties.
+  for (const Statement& st : loop.body) {
+    const ArrayAnalysis* aa = out.find(st.target);
+    SAPP_ASSERT(aa != nullptr, "analysis covers every target");
+    if (!aa->is_reduction) {
+      out.fully_reduction_parallel = false;
+      // A plain write to a shared array poisons iteration replication:
+      // re-executing the iteration would redo the write (harmless) but
+      // also any non-reduction read-modify-write; conservatively require
+      // all statements to be recognized reductions (the paper's Spice
+      // case: "modification of shared arrays inside the loop body").
+      out.iteration_replication_legal = false;
+    }
+  }
+  return out;
+}
+
+ReductionInput extract_input(const LoopNest& loop,
+                             const LoopAnalysis& analysis,
+                             const std::string& target, std::size_t dim,
+                             const Bindings& bindings) {
+  const ArrayAnalysis* aa = analysis.find(target);
+  SAPP_REQUIRE(aa != nullptr, "target not updated by this loop");
+  SAPP_REQUIRE(aa->is_reduction,
+               "target was not recognized as a reduction variable");
+
+  // Statements contributing to this target, in body order.
+  std::vector<const Statement*> updates;
+  for (const Statement& st : loop.body)
+    if (st.target == target) updates.push_back(&st);
+
+  auto eval_index = [&](const IndexExpr& ix, std::size_t i) -> std::uint32_t {
+    std::int64_t v = 0;
+    switch (ix.kind) {
+      case IndexExpr::Kind::kLoopIndex:
+        v = static_cast<std::int64_t>(i) + ix.offset;
+        break;
+      case IndexExpr::Kind::kConstant:
+        v = ix.offset;
+        break;
+      case IndexExpr::Kind::kIndirect: {
+        auto it = bindings.index_arrays.find(ix.index_array);
+        SAPP_REQUIRE(it != bindings.index_arrays.end(),
+                     "index array not bound");
+        const auto pos = static_cast<std::int64_t>(i) + ix.offset;
+        SAPP_REQUIRE(pos >= 0 && static_cast<std::size_t>(pos) <
+                                     it->second.size(),
+                     "index array subscript out of range");
+        v = it->second[static_cast<std::size_t>(pos)];
+        break;
+      }
+    }
+    SAPP_REQUIRE(v >= 0 && static_cast<std::size_t>(v) < dim,
+                 "reduction subscript out of the target's extent");
+    return static_cast<std::uint32_t>(v);
+  };
+
+  ReductionInput in;
+  in.pattern.dim = dim;
+  in.pattern.iteration_replication_legal =
+      analysis.iteration_replication_legal;
+  std::vector<std::uint64_t> row_ptr{0};
+  std::vector<std::uint32_t> idx;
+  std::vector<double> vals;
+  row_ptr.reserve(loop.iterations + 1);
+  idx.reserve(loop.iterations * updates.size());
+
+  for (std::size_t i = 0; i < loop.iterations; ++i) {
+    for (const Statement* st : updates) {
+      idx.push_back(eval_index(st->index, i));
+      double v = 1.0;
+      if (st->value.kind == ValueExpr::Kind::kInputElement) {
+        auto it = bindings.value_arrays.find(st->value.array);
+        SAPP_REQUIRE(it != bindings.value_arrays.end(),
+                     "value array not bound");
+        SAPP_REQUIRE(i < it->second.size(), "value array too short");
+        v = it->second[i];
+      } else if (st->value.kind == ValueExpr::Kind::kComputed) {
+        // Stand-in for arbitrary pure arithmetic on i.
+        v = 0.5 + static_cast<double>((i * 2654435761u) % 1024) / 1024.0;
+      }
+      vals.push_back(v);
+    }
+    row_ptr.push_back(idx.size());
+  }
+  in.pattern.refs = Csr(std::move(row_ptr), std::move(idx));
+  in.values = std::move(vals);
+  return in;
+}
+
+}  // namespace sapp::frontend

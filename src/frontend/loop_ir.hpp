@@ -1,0 +1,138 @@
+// A miniature loop IR — the compiler-facing substrate.
+//
+// The paper's pipeline starts in the compiler: "when a reduction operation
+// is recognized or specifically called by the program, the compiler will
+// possibly decide between the 'standard' parallel equivalent or 'histogram
+// reductions'" (§2), with the recognition rule given in §4's footnote: a
+// reduction variable is updated only through `x = x ⊕ exp` where ⊕ is
+// associative and commutative and `x` does not occur in `exp` or anywhere
+// else in the loop.
+//
+// This IR captures exactly the loop shape those rules talk about: a
+// counted loop whose body is a list of array-update statements with
+// (possibly indirect) subscripts. `analyze()` performs the recognition and
+// legality analysis; `extract_input()` runs the subscript expressions as
+// an inspector and emits the AccessPattern the rest of the library
+// consumes.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "reductions/access_pattern.hpp"
+
+namespace sapp::frontend {
+
+/// Subscript expression of an array access, evaluated per iteration i.
+struct IndexExpr {
+  enum class Kind : std::uint8_t {
+    kLoopIndex,   ///< i + offset
+    kConstant,    ///< offset
+    kIndirect,    ///< index_array[i + offset]  (the irregular case)
+  };
+  Kind kind = Kind::kLoopIndex;
+  std::int64_t offset = 0;
+  std::string index_array;  ///< for kIndirect
+
+  static IndexExpr loop_index(std::int64_t off = 0) {
+    return {Kind::kLoopIndex, off, {}};
+  }
+  static IndexExpr constant(std::int64_t c) {
+    return {Kind::kConstant, c, {}};
+  }
+  static IndexExpr indirect(std::string array, std::int64_t off = 0) {
+    return {Kind::kIndirect, off, std::move(array)};
+  }
+};
+
+/// Right-hand side of an update, as much structure as the analysis needs.
+struct ValueExpr {
+  enum class Kind : std::uint8_t {
+    kInputElement,  ///< value_array[i] — pure per-iteration input
+    kComputed,      ///< pure function of i (models arbitrary arithmetic)
+    kArrayRead,     ///< reads array[index] — poisons reduction recognition
+  };
+  Kind kind = Kind::kComputed;
+  std::string array;  ///< for kInputElement / kArrayRead
+  IndexExpr index;    ///< for kArrayRead
+
+  static ValueExpr input(std::string value_array) {
+    return {Kind::kInputElement, std::move(value_array), {}};
+  }
+  static ValueExpr computed() { return {Kind::kComputed, {}, {}}; }
+  static ValueExpr array_read(std::string array, IndexExpr idx) {
+    return {Kind::kArrayRead, std::move(array), idx};
+  }
+};
+
+/// One statement: `target[index] op= value`.
+struct Statement {
+  enum class Op : std::uint8_t {
+    kAssign,     ///< = (plain write; never a reduction)
+    kPlusAssign, ///< += (associative & commutative)
+    kMulAssign,  ///< *=
+    kMaxAssign,  ///< = max(x, e)
+  };
+  std::string target;
+  IndexExpr index;
+  Op op = Op::kPlusAssign;
+  ValueExpr value;
+};
+
+/// A counted loop over [0, iterations) with a straight-line body.
+struct LoopNest {
+  std::string name;
+  std::size_t iterations = 0;
+  std::vector<Statement> body;
+};
+
+/// Result of the compiler analysis for one candidate array.
+struct ArrayAnalysis {
+  std::string array;
+  bool is_reduction = false;  ///< all updates ⊕=, never read, single ⊕
+  bool single_operator = true;
+  Statement::Op op = Statement::Op::kPlusAssign;
+  std::string reason;  ///< why recognition failed, for diagnostics
+};
+
+/// Whole-loop analysis.
+struct LoopAnalysis {
+  std::vector<ArrayAnalysis> arrays;
+  /// No plain writes to shared arrays anywhere in the body — the paper's
+  /// condition for local-write's iteration replication.
+  bool iteration_replication_legal = true;
+  /// True when every statement targets recognized reduction arrays.
+  bool fully_reduction_parallel = true;
+
+  [[nodiscard]] const ArrayAnalysis* find(const std::string& a) const {
+    for (const auto& aa : arrays)
+      if (aa.array == a) return &aa;
+    return nullptr;
+  }
+};
+
+/// Static recognition pass (no data needed).
+[[nodiscard]] LoopAnalysis analyze(const LoopNest& loop);
+
+/// Run-time bindings for the inspector: the contents of the index arrays
+/// and (optionally) input value arrays named by the loop.
+struct Bindings {
+  std::map<std::string, std::vector<std::uint32_t>> index_arrays;
+  std::map<std::string, std::vector<double>> value_arrays;
+};
+
+/// Inspector: evaluate the subscripts of all updates to `target` and build
+/// the ReductionInput the scheme library consumes. Requires `target` to be
+/// recognized as a reduction by `analyze` (checked). `dim` is the target
+/// array's extent (subscripts are range-checked against it).
+[[nodiscard]] ReductionInput extract_input(const LoopNest& loop,
+                                           const LoopAnalysis& analysis,
+                                           const std::string& target,
+                                           std::size_t dim,
+                                           const Bindings& bindings);
+
+}  // namespace sapp::frontend

@@ -1,0 +1,73 @@
+// Reduction operator concept and the standard operators.
+//
+// A reduction variable (paper §4, footnote 1) is updated only through one
+// associative and commutative operation `x = x ⊕ expr` where `x` does not
+// appear in `expr`. Schemes are parameterized over the operator; the
+// operator supplies the neutral element used for on-demand initialization
+// (exactly the role the PCLR hardware's "line of neutral elements" plays).
+#pragma once
+
+#include <atomic>
+#include <concepts>
+#include <limits>
+
+namespace sapp {
+
+/// An associative, commutative reduction operator over T.
+template <typename Op, typename T>
+concept ReductionOp = requires(T a, T b) {
+  { Op::neutral() } -> std::convertible_to<T>;
+  { Op::apply(a, b) } -> std::convertible_to<T>;
+};
+
+/// Sum (the only reduction operator appearing in the paper's applications;
+/// §6.1: "Floating-point addition is the only reduction operation that
+/// appears in our applications").
+template <typename T>
+struct SumOp {
+  static constexpr T neutral() { return T{0}; }
+  static constexpr T apply(T a, T b) { return a + b; }
+  static constexpr const char* name() { return "sum"; }
+};
+
+/// Product.
+template <typename T>
+struct ProdOp {
+  static constexpr T neutral() { return T{1}; }
+  static constexpr T apply(T a, T b) { return a * b; }
+  static constexpr const char* name() { return "prod"; }
+};
+
+/// Maximum (the paper's directory FP unit is "a floating-point adder and
+/// comparator" — add and min/max are the supported combine ops).
+template <typename T>
+struct MaxOp {
+  static constexpr T neutral() {
+    return std::numeric_limits<T>::lowest();
+  }
+  static constexpr T apply(T a, T b) { return a > b ? a : b; }
+  static constexpr const char* name() { return "max"; }
+};
+
+/// Minimum.
+template <typename T>
+struct MinOp {
+  static constexpr T neutral() { return std::numeric_limits<T>::max(); }
+  static constexpr T apply(T a, T b) { return a < b ? a : b; }
+  static constexpr const char* name() { return "min"; }
+};
+
+/// Lock-free accumulate of `v` into `*p` under operator Op using a CAS
+/// loop over std::atomic_ref. Used by the atomic baseline and by merge
+/// phases that write concurrently into the shared array.
+template <typename Op, typename T>
+  requires ReductionOp<Op, T>
+inline void atomic_accumulate(T* p, T v) {
+  std::atomic_ref<T> ref(*p);
+  T expected = ref.load(std::memory_order_relaxed);
+  while (!ref.compare_exchange_weak(expected, Op::apply(expected, v),
+                                    std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace sapp

@@ -1,0 +1,55 @@
+#include "reductions/registry.hpp"
+
+#include <array>
+#include <stdexcept>
+#include <string>
+
+#include "reductions/scheme_atomic.hpp"
+#include "reductions/scheme_critical.hpp"
+#include "reductions/scheme_hash.hpp"
+#include "reductions/scheme_ll.hpp"
+#include "reductions/scheme_lw.hpp"
+#include "reductions/scheme_rep.hpp"
+#include "reductions/scheme_sel.hpp"
+#include "reductions/scheme_seq.hpp"
+
+namespace sapp {
+
+std::unique_ptr<Scheme> make_scheme(SchemeKind kind) {
+  switch (kind) {
+    case SchemeKind::kSeq: return std::make_unique<SeqScheme>();
+    case SchemeKind::kAtomic: return std::make_unique<AtomicScheme<>>();
+    case SchemeKind::kCritical: return std::make_unique<CriticalScheme<>>();
+    case SchemeKind::kRep: return std::make_unique<RepScheme<>>();
+    case SchemeKind::kLocalWrite: return std::make_unique<LocalWriteScheme<>>();
+    case SchemeKind::kLinked: return std::make_unique<LinkedScheme<>>();
+    case SchemeKind::kSelective: return std::make_unique<SelectiveScheme<>>();
+    case SchemeKind::kHash: return std::make_unique<HashScheme<>>();
+  }
+  throw std::invalid_argument("unknown scheme kind");
+}
+
+std::span<const SchemeKind> all_scheme_kinds() {
+  static constexpr std::array kinds{
+      SchemeKind::kSeq,       SchemeKind::kAtomic,   SchemeKind::kCritical,
+      SchemeKind::kRep,       SchemeKind::kLocalWrite, SchemeKind::kLinked,
+      SchemeKind::kSelective, SchemeKind::kHash,
+  };
+  return kinds;
+}
+
+std::span<const SchemeKind> candidate_scheme_kinds() {
+  static constexpr std::array kinds{
+      SchemeKind::kRep,       SchemeKind::kLocalWrite, SchemeKind::kLinked,
+      SchemeKind::kSelective, SchemeKind::kHash,
+  };
+  return kinds;
+}
+
+SchemeKind scheme_kind_from_name(std::string_view name) {
+  for (SchemeKind k : all_scheme_kinds())
+    if (to_string(k) == name) return k;
+  throw std::invalid_argument("unknown scheme name: " + std::string(name));
+}
+
+}  // namespace sapp

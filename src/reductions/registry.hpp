@@ -1,0 +1,29 @@
+// Scheme registry: kind → instance.
+//
+// This is the "library of already implemented choices" the adaptive
+// selector draws from (§4).
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "reductions/scheme.hpp"
+
+namespace sapp {
+
+/// Instantiate the scheme for `kind` over double/sum.
+[[nodiscard]] std::unique_ptr<Scheme> make_scheme(SchemeKind kind);
+
+/// All kinds, in table-printing order.
+[[nodiscard]] std::span<const SchemeKind> all_scheme_kinds();
+
+/// The paper's five parallel candidates {rep, lw, ll, sel, hash} — the set
+/// the decision algorithm selects from.
+[[nodiscard]] std::span<const SchemeKind> candidate_scheme_kinds();
+
+/// Parse a scheme name ("rep", "lw", ...); throws std::invalid_argument on
+/// unknown names.
+[[nodiscard]] SchemeKind scheme_kind_from_name(std::string_view name);
+
+}  // namespace sapp

@@ -1,0 +1,19 @@
+#include "reductions/scheme.hpp"
+
+#include "common/assert.hpp"
+
+namespace sapp {
+
+SchemeResult Scheme::run(const ReductionInput& in, ThreadPool& pool,
+                         std::span<double> out) const {
+  SAPP_REQUIRE(in.consistent(), "values/pattern size mismatch");
+  SAPP_REQUIRE(out.size() == in.pattern.dim, "output size mismatch");
+  Timer t;
+  const auto pl = plan(in.pattern, pool.size());
+  const double inspect = t.seconds();
+  SchemeResult r = execute(pl.get(), in, pool, out);
+  r.inspect_s = inspect;
+  return r;
+}
+
+}  // namespace sapp

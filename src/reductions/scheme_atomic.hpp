@@ -1,0 +1,43 @@
+// Atomic read-modify-write baseline.
+//
+// Not in the paper's library, but the natural modern baseline: every update
+// lands in the shared array via a CAS loop. Works for any pattern with no
+// private storage, at the cost of coherence traffic on contended elements.
+#pragma once
+
+#include "reductions/reduction_op.hpp"
+#include "reductions/scheme.hpp"
+
+namespace sapp {
+
+template <typename Op = SumOp<double>>
+  requires ReductionOp<Op, double>
+class AtomicScheme final : public Scheme {
+ public:
+  [[nodiscard]] SchemeKind kind() const override {
+    return SchemeKind::kAtomic;
+  }
+
+  SchemeResult execute(const SchemePlan*, const ReductionInput& in,
+                       ThreadPool& pool, std::span<double> out) const override {
+    SchemeResult r;
+    const auto& ptr = in.pattern.refs.row_ptr();
+    const auto& idx = in.pattern.refs.indices();
+    const auto* vals = in.values.data();
+    const unsigned flops = in.pattern.body_flops;
+    double* o = out.data();
+
+    Timer t;
+    pool.parallel_for(in.pattern.iterations(), [&](unsigned, Range rg) {
+      for (std::size_t i = rg.begin; i < rg.end; ++i) {
+        const double s = iteration_scale(i, flops);
+        for (std::uint64_t j = ptr[i]; j < ptr[i + 1]; ++j)
+          atomic_accumulate<Op>(o + idx[j], vals[j] * s);
+      }
+    });
+    r.phases.loop_s = t.seconds();
+    return r;
+  }
+};
+
+}  // namespace sapp

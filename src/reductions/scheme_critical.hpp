@@ -1,0 +1,52 @@
+// Striped-lock critical-section baseline.
+//
+// The "unoptimized compiler output" the paper's techniques replace: each
+// update takes a lock guarding a stripe of the shared array.
+#pragma once
+
+#include <array>
+#include <memory>
+#include <mutex>
+
+#include "reductions/reduction_op.hpp"
+#include "reductions/scheme.hpp"
+
+namespace sapp {
+
+template <typename Op = SumOp<double>>
+  requires ReductionOp<Op, double>
+class CriticalScheme final : public Scheme {
+ public:
+  static constexpr std::size_t kStripes = 256;
+
+  [[nodiscard]] SchemeKind kind() const override {
+    return SchemeKind::kCritical;
+  }
+
+  SchemeResult execute(const SchemePlan*, const ReductionInput& in,
+                       ThreadPool& pool, std::span<double> out) const override {
+    SchemeResult r;
+    const auto& ptr = in.pattern.refs.row_ptr();
+    const auto& idx = in.pattern.refs.indices();
+    const auto* vals = in.values.data();
+    const unsigned flops = in.pattern.body_flops;
+    double* o = out.data();
+    auto locks = std::make_unique<std::array<std::mutex, kStripes>>();
+
+    Timer t;
+    pool.parallel_for(in.pattern.iterations(), [&](unsigned, Range rg) {
+      for (std::size_t i = rg.begin; i < rg.end; ++i) {
+        const double s = iteration_scale(i, flops);
+        for (std::uint64_t j = ptr[i]; j < ptr[i + 1]; ++j) {
+          const std::uint32_t e = idx[j];
+          std::scoped_lock lk((*locks)[e % kStripes]);
+          o[e] = Op::apply(o[e], vals[j] * s);
+        }
+      }
+    });
+    r.phases.loop_s = t.seconds();
+    return r;
+  }
+};
+
+}  // namespace sapp

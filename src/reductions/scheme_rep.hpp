@@ -1,0 +1,92 @@
+// "rep" — private accumulation and global update in replicated private
+// arrays (§4).
+//
+// Each thread owns a full private copy of the reduction array. Phases:
+//   Init : fill every private copy with the neutral element,
+//   Loop : accumulate locally, no synchronization,
+//   Merge: parallel over elements, fold the P partial copies into `w`.
+// This is also exactly the Sw baseline of the hardware evaluation (§6.2),
+// whose Init and Merge costs PCLR eliminates.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/aligned.hpp"
+#include "reductions/reduction_op.hpp"
+#include "reductions/scheme.hpp"
+
+namespace sapp {
+
+template <typename Op = SumOp<double>>
+  requires ReductionOp<Op, double>
+class RepScheme final : public Scheme {
+ public:
+  [[nodiscard]] SchemeKind kind() const override { return SchemeKind::kRep; }
+
+  /// The plan only carries the reusable private arrays so repeated
+  /// invocations don't pay allocation (they still pay Init: the arrays must
+  /// be re-neutralized every time, which is the point of the scheme's cost
+  /// model).
+  struct Plan final : SchemePlan {
+    mutable std::vector<CacheAlignedVector<double>> priv;
+  };
+
+  [[nodiscard]] std::unique_ptr<SchemePlan> plan(
+      const AccessPattern& p, unsigned nthreads) const override {
+    auto pl = std::make_unique<Plan>();
+    pl->priv.resize(nthreads);
+    for (auto& v : pl->priv) v.resize(p.dim);
+    return pl;
+  }
+
+  SchemeResult execute(const SchemePlan* plan_base, const ReductionInput& in,
+                       ThreadPool& pool, std::span<double> out) const override {
+    const auto* pl = dynamic_cast<const Plan*>(plan_base);
+    SAPP_REQUIRE(pl != nullptr && pl->priv.size() == pool.size(),
+                 "rep: plan missing or built for a different thread count");
+    const std::size_t dim = in.pattern.dim;
+    const auto& ptr = in.pattern.refs.row_ptr();
+    const auto& idx = in.pattern.refs.indices();
+    const auto* vals = in.values.data();
+    const unsigned flops = in.pattern.body_flops;
+    const unsigned P = pool.size();
+
+    SchemeResult r;
+    r.private_bytes = static_cast<std::size_t>(P) * dim * sizeof(double);
+
+    Timer t;
+    pool.run([&](unsigned tid) {
+      auto& mine = pl->priv[tid];
+      std::fill(mine.begin(), mine.end(), Op::neutral());
+    });
+    r.phases.init_s = t.seconds();
+
+    t.restart();
+    pool.parallel_for(in.pattern.iterations(), [&](unsigned tid, Range rg) {
+      double* mine = pl->priv[tid].data();
+      for (std::size_t i = rg.begin; i < rg.end; ++i) {
+        const double s = iteration_scale(i, flops);
+        for (std::uint64_t j = ptr[i]; j < ptr[i + 1]; ++j) {
+          const std::uint32_t e = idx[j];
+          mine[e] = Op::apply(mine[e], vals[j] * s);
+        }
+      }
+    });
+    r.phases.loop_s = t.seconds();
+
+    t.restart();
+    pool.parallel_for(dim, [&](unsigned, Range rg) {
+      for (std::size_t e = rg.begin; e < rg.end; ++e) {
+        double acc = out[e];
+        for (unsigned q = 0; q < P; ++q)
+          acc = Op::apply(acc, pl->priv[q][e]);
+        out[e] = acc;
+      }
+    });
+    r.phases.merge_s = t.seconds();
+    return r;
+  }
+};
+
+}  // namespace sapp

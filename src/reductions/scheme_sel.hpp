@@ -1,0 +1,126 @@
+// "sel" — selective privatization (§4).
+//
+// An inspector pass classifies each referenced element as *exclusive*
+// (referenced by exactly one thread under the block schedule) or *shared*
+// (referenced by two or more). Only the shared elements are privatized,
+// into compact per-thread buffers with a slot map; exclusive elements are
+// written straight into the shared array with no synchronization. Init and
+// merge cost scale with the number of shared elements only.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "reductions/reduction_op.hpp"
+#include "reductions/scheme.hpp"
+
+namespace sapp {
+
+template <typename Op = SumOp<double>>
+  requires ReductionOp<Op, double>
+class SelectiveScheme final : public Scheme {
+ public:
+  [[nodiscard]] SchemeKind kind() const override {
+    return SchemeKind::kSelective;
+  }
+
+  struct Plan final : SchemePlan {
+    std::vector<std::int32_t> slot;          // element -> compact slot or -1
+    std::vector<std::uint32_t> shared_elems; // slot -> element
+    mutable std::vector<std::vector<double>> priv;  // [thread][slot]
+    unsigned nthreads = 0;
+  };
+
+  /// Inspector: one sweep over the references under the same static block
+  /// schedule the loop phase will use.
+  [[nodiscard]] std::unique_ptr<SchemePlan> plan(
+      const AccessPattern& p, unsigned nthreads) const override {
+    auto pl = std::make_unique<Plan>();
+    pl->nthreads = nthreads;
+    constexpr std::uint8_t kNone = 0xFF;
+    constexpr std::uint8_t kShared = 0xFE;
+    SAPP_REQUIRE(nthreads < kShared, "thread count too large for inspector");
+    std::vector<std::uint8_t> cls(p.dim, kNone);
+    const auto& ptr = p.refs.row_ptr();
+    const auto& idx = p.refs.indices();
+    const std::size_t n = p.refs.rows();
+    for (unsigned t = 0; t < nthreads; ++t) {
+      const Range rg = static_block(n, t, nthreads);
+      for (std::size_t i = rg.begin; i < rg.end; ++i)
+        for (std::uint64_t j = ptr[i]; j < ptr[i + 1]; ++j) {
+          auto& c = cls[idx[j]];
+          if (c == kNone)
+            c = static_cast<std::uint8_t>(t);
+          else if (c != t && c != kShared)
+            c = kShared;
+        }
+    }
+    pl->slot.assign(p.dim, -1);
+    for (std::size_t e = 0; e < p.dim; ++e)
+      if (cls[e] == kShared) {
+        pl->slot[e] = static_cast<std::int32_t>(pl->shared_elems.size());
+        pl->shared_elems.push_back(static_cast<std::uint32_t>(e));
+      }
+    pl->priv.assign(nthreads,
+                    std::vector<double>(pl->shared_elems.size()));
+    return pl;
+  }
+
+  SchemeResult execute(const SchemePlan* plan_base, const ReductionInput& in,
+                       ThreadPool& pool, std::span<double> out) const override {
+    const auto* pl = dynamic_cast<const Plan*>(plan_base);
+    SAPP_REQUIRE(pl != nullptr && pl->nthreads == pool.size(),
+                 "sel: plan missing or built for a different thread count");
+    const auto& ptr = in.pattern.refs.row_ptr();
+    const auto& idx = in.pattern.refs.indices();
+    const auto* vals = in.values.data();
+    const unsigned flops = in.pattern.body_flops;
+    const unsigned P = pool.size();
+    const std::size_t nshared = pl->shared_elems.size();
+
+    SchemeResult r;
+    r.private_bytes = static_cast<std::size_t>(P) * nshared * sizeof(double) +
+                      pl->slot.size() * sizeof(std::int32_t);
+
+    Timer t;
+    pool.run([&](unsigned tid) {
+      auto& mine = pl->priv[tid];
+      std::fill(mine.begin(), mine.end(), Op::neutral());
+    });
+    r.phases.init_s = t.seconds();
+
+    t.restart();
+    pool.parallel_for(in.pattern.iterations(), [&](unsigned tid, Range rg) {
+      double* mine = pl->priv[tid].data();
+      const std::int32_t* slot = pl->slot.data();
+      for (std::size_t i = rg.begin; i < rg.end; ++i) {
+        const double s = iteration_scale(i, flops);
+        for (std::uint64_t j = ptr[i]; j < ptr[i + 1]; ++j) {
+          const std::uint32_t e = idx[j];
+          const std::int32_t sl = slot[e];
+          const double contrib = vals[j] * s;
+          if (sl >= 0)
+            mine[sl] = Op::apply(mine[sl], contrib);
+          else  // exclusive to this thread under the block schedule
+            out[e] = Op::apply(out[e], contrib);
+        }
+      }
+    });
+    r.phases.loop_s = t.seconds();
+
+    t.restart();
+    pool.parallel_for(nshared, [&](unsigned, Range rg) {
+      for (std::size_t sl = rg.begin; sl < rg.end; ++sl) {
+        double acc = out[pl->shared_elems[sl]];
+        for (unsigned q = 0; q < P; ++q)
+          acc = Op::apply(acc, pl->priv[q][sl]);
+        out[pl->shared_elems[sl]] = acc;
+      }
+    });
+    r.phases.merge_s = t.seconds();
+    return r;
+  }
+};
+
+}  // namespace sapp

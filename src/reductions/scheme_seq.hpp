@@ -1,0 +1,24 @@
+// Sequential reference execution (speedup denominator everywhere).
+#pragma once
+
+#include "reductions/scheme.hpp"
+
+namespace sapp {
+
+/// Runs the loop in iteration order on the calling thread. All parallel
+/// schemes must produce the same result up to reassociation of ⊕.
+class SeqScheme final : public Scheme {
+ public:
+  [[nodiscard]] SchemeKind kind() const override { return SchemeKind::kSeq; }
+
+  SchemeResult execute(const SchemePlan*, const ReductionInput& in,
+                       ThreadPool&, std::span<double> out) const override {
+    SchemeResult r;
+    Timer t;
+    run_sequential(in, out);
+    r.phases.loop_s = t.seconds();
+    return r;
+  }
+};
+
+}  // namespace sapp

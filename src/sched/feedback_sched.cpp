@@ -1,0 +1,89 @@
+#include "sched/feedback_sched.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/assert.hpp"
+
+namespace sapp {
+
+FeedbackGuided::FeedbackGuided(std::size_t n, unsigned nthreads,
+                               double smoothing)
+    : n_(n),
+      nthreads_(nthreads),
+      smoothing_(smoothing),
+      bounds_(nthreads + 1, 0),
+      cost_(n, 1.0),
+      last_times_(nthreads, 0.0),
+      have_time_(nthreads, false) {
+  SAPP_REQUIRE(n > 0, "loop must have iterations");
+  SAPP_REQUIRE(nthreads >= 1, "need at least one thread");
+  SAPP_REQUIRE(smoothing > 0.0 && smoothing <= 1.0, "smoothing in (0,1]");
+  for (unsigned t = 0; t < nthreads_; ++t)
+    bounds_[t] = static_block(n_, t, nthreads_).begin;
+  bounds_[nthreads_] = n_;
+}
+
+Range FeedbackGuided::block(unsigned tid) const {
+  SAPP_REQUIRE(tid < nthreads_, "tid out of range");
+  return Range{bounds_[tid], bounds_[tid + 1]};
+}
+
+void FeedbackGuided::record(unsigned tid, double seconds) {
+  SAPP_REQUIRE(tid < nthreads_, "tid out of range");
+  SAPP_REQUIRE(seconds >= 0.0, "time must be non-negative");
+  last_times_[tid] = seconds;
+  have_time_[tid] = true;
+}
+
+void FeedbackGuided::adapt() {
+  // 1. Fold the measured block times into the per-iteration cost estimate.
+  for (unsigned t = 0; t < nthreads_; ++t) {
+    if (!have_time_[t]) continue;
+    const Range r{bounds_[t], bounds_[t + 1]};
+    if (r.empty()) continue;
+    const double per_iter =
+        last_times_[t] / static_cast<double>(r.size());
+    for (std::size_t i = r.begin; i < r.end; ++i)
+      cost_[i] = (1.0 - smoothing_) * cost_[i] + smoothing_ * per_iter;
+    have_time_[t] = false;
+  }
+
+  // 2. Equal-cost repartition: walk the prefix sum and cut at each
+  //    multiple of total/nthreads.
+  const double total = std::accumulate(cost_.begin(), cost_.end(), 0.0);
+  if (total <= 0.0) return;  // degenerate: keep previous boundaries
+  const double share = total / static_cast<double>(nthreads_);
+
+  double acc = 0.0;
+  unsigned cut = 1;
+  for (std::size_t i = 0; i < n_ && cut < nthreads_; ++i) {
+    acc += cost_[i];
+    while (cut < nthreads_ &&
+           acc >= share * static_cast<double>(cut)) {
+      bounds_[cut] = i + 1;
+      ++cut;
+    }
+  }
+  // Any cuts not placed (all remaining cost at the tail) collapse to n.
+  for (; cut < nthreads_; ++cut) bounds_[cut] = n_;
+  bounds_[0] = 0;
+  bounds_[nthreads_] = n_;
+  // Boundaries must stay monotone even with zero-cost gaps.
+  for (unsigned t = 1; t <= nthreads_; ++t)
+    bounds_[t] = std::max(bounds_[t], bounds_[t - 1]);
+}
+
+double FeedbackGuided::imbalance() const {
+  double mx = 0.0, sum = 0.0;
+  unsigned counted = 0;
+  for (unsigned t = 0; t < nthreads_; ++t) {
+    mx = std::max(mx, last_times_[t]);
+    sum += last_times_[t];
+    ++counted;
+  }
+  if (counted == 0 || sum <= 0.0) return 0.0;
+  return mx / (sum / static_cast<double>(counted));
+}
+
+}  // namespace sapp

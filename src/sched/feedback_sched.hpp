@@ -1,0 +1,67 @@
+// Feedback-guided block scheduling (paper §3, reference [5]).
+//
+// "Load balancing will be achieved through feedback guided blocked
+//  scheduling which allows highly imbalanced loops to be block scheduled by
+//  predicting a good work distribution from previous measured execution
+//  times of iteration blocks."
+//
+// The scheduler owns the block boundaries of a loop that is invoked
+// repeatedly. After each invocation it converts the measured per-block times
+// into a piecewise-constant per-iteration cost estimate and re-partitions
+// the iteration space so every thread's predicted time is equal.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+
+namespace sapp {
+
+/// Adaptive block partitioner for a repeatedly invoked loop of `n`
+/// iterations executed by `nthreads` threads.
+///
+/// Protocol per invocation:
+///   1. read `block(tid)` for each thread and execute those iterations,
+///   2. `record(tid, seconds)` the measured time of each block,
+///   3. call `adapt()` once (single-threaded) to move the boundaries.
+class FeedbackGuided {
+ public:
+  /// `smoothing` in [0,1]: weight of the newest cost estimate (1 = use only
+  /// the last invocation, smaller values damp oscillation).
+  FeedbackGuided(std::size_t n, unsigned nthreads, double smoothing = 0.7);
+
+  [[nodiscard]] std::size_t iterations() const { return n_; }
+  [[nodiscard]] unsigned threads() const { return nthreads_; }
+
+  /// Current block of thread `tid`.
+  [[nodiscard]] Range block(unsigned tid) const;
+
+  /// Record the wall time thread `tid` spent on its current block.
+  void record(unsigned tid, double seconds);
+
+  /// Recompute boundaries from the recorded times. Blocks with no recorded
+  /// time keep their previous cost estimate.
+  void adapt();
+
+  /// Predicted per-iteration cost (after smoothing); exposed for tests and
+  /// for the runtime's performance predictor.
+  [[nodiscard]] const std::vector<double>& iteration_cost() const {
+    return cost_;
+  }
+
+  /// Largest measured block time divided by the mean — 1.0 means perfectly
+  /// balanced. Returns 0 before any record().
+  [[nodiscard]] double imbalance() const;
+
+ private:
+  std::size_t n_;
+  unsigned nthreads_;
+  double smoothing_;
+  std::vector<std::size_t> bounds_;  // nthreads_+1 boundaries
+  std::vector<double> cost_;         // per-iteration cost estimate
+  std::vector<double> last_times_;   // per-thread measured seconds
+  std::vector<bool> have_time_;
+};
+
+}  // namespace sapp

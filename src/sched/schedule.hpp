@@ -1,0 +1,38 @@
+// Loop-scheduling policies.
+//
+// The SmartApps runtime picks among these for each parallel loop; the
+// feedback-guided policy (feedback_sched.hpp) handles persistent imbalance.
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+
+#include "common/thread_pool.hpp"
+
+namespace sapp {
+
+/// Scheduling policy for a parallel loop.
+enum class Schedule {
+  kStaticBlock,   ///< one contiguous block per thread
+  kStaticCyclic,  ///< round-robin chunks of fixed size
+  kDynamic,       ///< self-scheduling from a shared counter
+  kFeedback,      ///< feedback-guided block boundaries (see FeedbackGuided)
+};
+
+[[nodiscard]] constexpr std::string_view to_string(Schedule s) {
+  switch (s) {
+    case Schedule::kStaticBlock: return "static";
+    case Schedule::kStaticCyclic: return "cyclic";
+    case Schedule::kDynamic: return "dynamic";
+    case Schedule::kFeedback: return "feedback";
+  }
+  return "?";
+}
+
+/// Number of chunks a cyclic schedule of `chunk` iterations produces.
+[[nodiscard]] constexpr std::size_t cyclic_chunks(std::size_t n,
+                                                  std::size_t chunk) {
+  return (n + chunk - 1) / chunk;
+}
+
+}  // namespace sapp

@@ -1,0 +1,138 @@
+// Set-associative cache models.
+//
+// The node's L2 (write-back, LRU) holds line state and data — including the
+// non-coherent REDUCTION state PCLR adds (§5.1.1). The L1 is a tag-only
+// latency filter kept inclusive by back-invalidation.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "sim/sim_types.hpp"
+
+namespace sapp::sim {
+
+/// Line states. Plain lines follow an MSI-flavoured protocol directed by
+/// the home directory; kReduction lines are non-coherent private
+/// accumulation storage (PCLR).
+enum class LineState : std::uint8_t {
+  kInvalid,
+  kShared,     ///< clean, possibly cached elsewhere
+  kDirty,      ///< modified, exclusive
+  kReduction,  ///< PCLR reduction state (non-coherent partial results)
+};
+
+/// One cache line frame. `data` carries real values only for lines where
+/// the simulation tracks arithmetic (reduction lines); plain lines use the
+/// frame for state/tag only. Sized for the largest supported line
+/// (128 B = 16 doubles).
+struct CacheLine {
+  static constexpr unsigned kMaxElems = 16;
+
+  Addr line_addr = ~Addr{0};
+  LineState state = LineState::kInvalid;
+  std::uint64_t lru = 0;
+  std::array<double, kMaxElems> data{};
+
+  [[nodiscard]] bool valid() const { return state != LineState::kInvalid; }
+};
+
+/// Physically indexed set-associative cache with true-LRU replacement.
+class Cache {
+ public:
+  Cache(std::size_t bytes, unsigned assoc, unsigned line_bytes)
+      : assoc_(assoc),
+        line_bytes_(line_bytes),
+        sets_(bytes / (static_cast<std::size_t>(assoc) * line_bytes)),
+        lines_(sets_ * assoc) {
+    SAPP_REQUIRE(sets_ > 0 && (sets_ & (sets_ - 1)) == 0,
+                 "set count must be a power of two");
+  }
+
+  [[nodiscard]] Addr line_of(Addr a) const { return a & ~Addr{line_bytes_ - 1}; }
+
+  /// Set index with the page number hashed in. This models the physical
+  /// page-coloring a real OS applies: without it, arrays allocated at
+  /// large power-of-two virtual strides (e.g. the per-processor private
+  /// arrays) would alias into the same sets and thrash pathologically.
+  [[nodiscard]] std::size_t set_of(Addr line_addr) const {
+    const Addr line_no = line_addr / line_bytes_;
+    // Multiplicative mix of the page number, taking the *high* half of the
+    // product so that page strides of any power of two still permute the
+    // colors (low product bits are zero for such strides).
+    const Addr color = (line_addr >> 12) * 0x9E3779B97F4A7C15ull >> 32;
+    return (line_no ^ color) & (sets_ - 1);
+  }
+
+  /// Find a valid frame holding `line_addr`; bumps LRU on hit.
+  [[nodiscard]] CacheLine* find(Addr line_addr) {
+    auto* base = &lines_[set_of(line_addr) * assoc_];
+    for (unsigned w = 0; w < assoc_; ++w) {
+      CacheLine& l = base[w];
+      if (l.valid() && l.line_addr == line_addr) {
+        l.lru = ++tick_;
+        return &l;
+      }
+    }
+    return nullptr;
+  }
+
+  /// Allocate a frame for `line_addr` (must not be present), evicting the
+  /// LRU victim. Returns the victim's previous content (state kInvalid if
+  /// the frame was free). The new line is installed with `st` and zeroed
+  /// data.
+  CacheLine evict_and_install(Addr line_addr, LineState st) {
+    auto* base = &lines_[set_of(line_addr) * assoc_];
+    CacheLine* victim = base;
+    for (unsigned w = 1; w < assoc_; ++w) {
+      CacheLine& l = base[w];
+      if (!l.valid()) {
+        victim = &l;
+        break;
+      }
+      if (!victim->valid()) break;
+      if (l.lru < victim->lru) victim = &l;
+    }
+    CacheLine out = *victim;
+    victim->line_addr = line_addr;
+    victim->state = st;
+    victim->lru = ++tick_;
+    victim->data.fill(0.0);
+    return out;
+  }
+
+  /// Drop `line_addr` if present; returns its content before invalidation.
+  CacheLine invalidate(Addr line_addr) {
+    auto* base = &lines_[set_of(line_addr) * assoc_];
+    for (unsigned w = 0; w < assoc_; ++w) {
+      CacheLine& l = base[w];
+      if (l.valid() && l.line_addr == line_addr) {
+        CacheLine out = l;
+        l.state = LineState::kInvalid;
+        return out;
+      }
+    }
+    return {};
+  }
+
+  /// Visit every valid line (flush sweeps); `fn` may mutate the line.
+  void for_each(const std::function<void(CacheLine&)>& fn) {
+    for (auto& l : lines_)
+      if (l.valid()) fn(l);
+  }
+
+  [[nodiscard]] std::size_t total_frames() const { return lines_.size(); }
+  [[nodiscard]] unsigned assoc() const { return assoc_; }
+
+ private:
+  unsigned assoc_;
+  unsigned line_bytes_;
+  std::size_t sets_;
+  std::uint64_t tick_ = 0;
+  std::vector<CacheLine> lines_;
+};
+
+}  // namespace sapp::sim

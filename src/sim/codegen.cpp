@@ -1,0 +1,292 @@
+#include "sim/codegen.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "common/thread_pool.hpp"
+
+namespace sapp::sim {
+
+namespace {
+
+/// Shared read-only view of the workload for all cursors of one run.
+struct TraceContext {
+  const workloads::Workload* w;
+  Mode mode;
+  MachineConfig cfg;
+  unsigned nprocs;
+
+  [[nodiscard]] unsigned input_loads_per_iter() const {
+    unsigned bytes = w->input_bytes_per_iter;
+    if (bytes == 0) {
+      const auto& pat = w->input.pattern;
+      const double refs_per_iter =
+          pat.iterations()
+              ? static_cast<double>(pat.num_refs()) /
+                    static_cast<double>(pat.iterations())
+              : 1.0;
+      bytes = static_cast<unsigned>(4.0 * refs_per_iter);
+    }
+    return (bytes + 7) / 8;  // 8-byte load granularity
+  }
+
+  [[nodiscard]] std::uint32_t compute_cycles_per_iter(
+      std::size_t refs_in_iter) const {
+    const double instr = static_cast<double>(w->instr_per_iter);
+    // 3 instructions per reduction reference (address arithmetic +
+    // accumulate load/store) plus the input loads are modeled explicitly;
+    // the remainder is the loop body, issued at the sustained IPC.
+    const double body = instr - 3.0 * static_cast<double>(refs_in_iter) -
+                        2.0 * input_loads_per_iter();
+    const double cycles = body / cfg.effective_ipc;
+    return cycles < 1.0 ? 1u : static_cast<std::uint32_t>(cycles);
+  }
+};
+
+/// Lazily enumerates one processor's trace. A small explicit state machine:
+/// stages advance Init -> Loop -> Merge/Flush -> End with per-stage indices.
+class ReductionCursor final : public TraceCursor {
+ public:
+  ReductionCursor(std::shared_ptr<const TraceContext> ctx, unsigned proc)
+      : ctx_(std::move(ctx)), proc_(proc) {
+    const auto& pat = ctx_->w->input.pattern;
+    const std::size_t n = pat.iterations();
+    if (ctx_->mode == Mode::kSeq) {
+      SAPP_REQUIRE(ctx_->nprocs == 1, "Seq runs on one node");
+      iters_ = Range{0, n};
+      elems_ = Range{0, 0};
+      stage_ = Stage::kLoopIterStart;
+    } else {
+      iters_ = static_block(n, proc_, ctx_->nprocs);
+      elems_ = static_block(pat.dim, proc_, ctx_->nprocs);
+      stage_ = ctx_->mode == Mode::kSw ? Stage::kInit : Stage::kConfig;
+    }
+    cur_iter_ = iters_.begin;
+  }
+
+  Op next() override {
+    const auto& pat = ctx_->w->input.pattern;
+    const auto& ptr = pat.refs.row_ptr();
+    const auto& idx = pat.refs.indices();
+
+    switch (stage_) {
+      // ---------- Hw/Flex: ConfigHardware() ----------
+      case Stage::kConfig:
+        stage_ = Stage::kInitBarrier;
+        return Op{.kind = Op::Kind::kConfig};
+
+      // ---------- Sw: initialize the private array ----------
+      case Stage::kInit: {
+        if (init_elem_ >= pat.dim) {
+          stage_ = Stage::kInitBarrier;
+          return next();
+        }
+        Op op{.kind = Op::Kind::kStore,
+              .addr = AddressMap::priv_elem(proc_, init_elem_)};
+        ++init_elem_;
+        return op;
+      }
+      case Stage::kInitBarrier:
+        stage_ = Stage::kLoopIterStart;
+        return Op{.kind = Op::Kind::kBarrier, .label = "init"};
+
+      // ---------- Loop over my block of iterations ----------
+      case Stage::kLoopIterStart: {
+        if (cur_iter_ >= iters_.end) {
+          stage_ = Stage::kLoopBarrier;
+          return next();
+        }
+        cur_ref_ = ptr[cur_iter_];
+        ref_step_ = 0;
+        input_remaining_ =
+            ctx_->cfg.metadata_loads ? ctx_->input_loads_per_iter() : 0;
+        iter_scale_ = iteration_scale(cur_iter_, pat.body_flops);
+        stage_ = Stage::kLoopInput;
+        const std::size_t refs = ptr[cur_iter_ + 1] - ptr[cur_iter_];
+        return Op{.kind = Op::Kind::kCompute,
+                  .cycles = ctx_->compute_cycles_per_iter(refs)};
+      }
+      case Stage::kLoopInput: {
+        // Stream this iteration's slice of the input lists.
+        if (input_remaining_ == 0) {
+          stage_ = Stage::kLoopRef;
+          return next();
+        }
+        --input_remaining_;
+        const Addr a = AddressMap::kIdxBase +
+                       (cur_iter_ * ctx_->input_loads_per_iter() +
+                        input_remaining_) *
+                           8;
+        return Op{.kind = Op::Kind::kLoad, .addr = a};
+      }
+      case Stage::kLoopRef: {
+        if (cur_ref_ >= ptr[cur_iter_ + 1]) {
+          ++cur_iter_;
+          stage_ = Stage::kLoopIterStart;
+          return next();
+        }
+        const std::uint32_t e = idx[cur_ref_];
+        const Op op = loop_ref_op(e);
+        if (ref_step_ > last_ref_step()) {
+          ref_step_ = 0;
+          ++cur_ref_;
+        }
+        return op;
+      }
+      case Stage::kLoopBarrier:
+        stage_ = ctx_->mode == Mode::kSw    ? Stage::kMergeElem
+                 : ctx_->mode == Mode::kSeq ? Stage::kDone
+                                            : Stage::kFlush;
+        return Op{.kind = Op::Kind::kBarrier, .label = "loop"};
+
+      // ---------- Sw merge: fold P partials into the shared array -------
+      case Stage::kMergeElem: {
+        if (merge_elem_ == 0 && merge_q_ == 0) merge_elem_ = elems_.begin;
+        if (merge_elem_ >= elems_.end) {
+          stage_ = Stage::kMergeBarrier;
+          return next();
+        }
+        // Sequence per element: load w, load P partials, add, store w.
+        if (merge_q_ == 0) {
+          ++merge_q_;
+          return Op{.kind = Op::Kind::kLoad,
+                    .addr = AddressMap::w_elem(merge_elem_)};
+        }
+        if (merge_q_ <= ctx_->nprocs) {
+          const unsigned q = merge_q_ - 1;
+          ++merge_q_;
+          return Op{.kind = Op::Kind::kLoad,
+                    .addr = AddressMap::priv_elem(q, merge_elem_)};
+        }
+        if (merge_q_ == ctx_->nprocs + 1) {
+          ++merge_q_;
+          // Folding P partials is a dependent FP-add chain: ~3 cycles per
+          // add that no amount of issue width hides.
+          return Op{.kind = Op::Kind::kCompute,
+                    .cycles = std::max(1u, 3 * ctx_->nprocs)};
+        }
+        Op op{.kind = Op::Kind::kStore,
+              .addr = AddressMap::w_elem(merge_elem_)};
+        ++merge_elem_;
+        merge_q_ = 0;
+        if (merge_elem_ >= elems_.end) stage_ = Stage::kMergeBarrier;
+        return op;
+      }
+      case Stage::kMergeBarrier:
+        stage_ = Stage::kDone;
+        return Op{.kind = Op::Kind::kBarrier, .label = "merge"};
+
+      // ---------- PCLR flush ----------
+      case Stage::kFlush:
+        stage_ = Stage::kFlushBarrier;
+        return Op{.kind = Op::Kind::kFlush};
+      case Stage::kFlushBarrier:
+        stage_ = Stage::kDone;
+        return Op{.kind = Op::Kind::kBarrier, .label = "merge"};
+
+      case Stage::kDone:
+        return Op{};  // kEnd
+    }
+    return Op{};
+  }
+
+ private:
+  enum class Stage {
+    kConfig,
+    kInit,
+    kInitBarrier,
+    kLoopIterStart,
+    kLoopInput,
+    kLoopRef,
+    kLoopBarrier,
+    kMergeElem,
+    kMergeBarrier,
+    kFlush,
+    kFlushBarrier,
+    kDone,
+  };
+
+  /// Two sub-ops per reference: accumulate load + store on the target.
+  [[nodiscard]] unsigned last_ref_step() const { return 1; }
+
+  Op loop_ref_op(std::uint32_t e) {
+    const unsigned step = ref_step_++;
+    const bool is_load = step == 0;
+    switch (ctx_->mode) {
+      case Mode::kSeq:
+        return Op{.kind = is_load ? Op::Kind::kLoad : Op::Kind::kStore,
+                  .addr = AddressMap::w_elem(e)};
+      case Mode::kSw:
+        return Op{.kind = is_load ? Op::Kind::kLoad : Op::Kind::kStore,
+                  .addr = AddressMap::priv_elem(proc_, e)};
+      case Mode::kHw:
+      case Mode::kFlex: {
+        // §5.1.5: with shadow addressing the compiler emits *plain*
+        // accesses to the shadow array; otherwise special reduction
+        // instructions on the original array.
+        if (ctx_->cfg.shadow_addresses) {
+          const Addr a = AddressMap::shadow_of(AddressMap::w_elem(e));
+          if (is_load) return Op{.kind = Op::Kind::kLoad, .addr = a};
+          return Op{.kind = Op::Kind::kStore,
+                    .addr = a,
+                    .value =
+                        ctx_->w->input.values[cur_ref_] * iter_scale_};
+        }
+        if (is_load)
+          return Op{.kind = Op::Kind::kLoadRed,
+                    .addr = AddressMap::w_elem(e)};
+        return Op{.kind = Op::Kind::kStoreRed,
+                  .addr = AddressMap::w_elem(e),
+                  .value = ctx_->w->input.values[cur_ref_] * iter_scale_};
+      }
+    }
+    return Op{};
+  }
+
+  std::shared_ptr<const TraceContext> ctx_;
+  unsigned proc_;
+  Range iters_{};
+  Range elems_{};
+  Stage stage_;
+
+  std::size_t init_elem_ = 0;
+  std::size_t cur_iter_ = 0;
+  std::uint64_t cur_ref_ = 0;
+  unsigned ref_step_ = 0;
+  unsigned input_remaining_ = 0;
+  double iter_scale_ = 1.0;
+  std::size_t merge_elem_ = 0;
+  unsigned merge_q_ = 0;
+};
+
+}  // namespace
+
+std::vector<std::unique_ptr<TraceCursor>> make_reduction_cursors(
+    const workloads::Workload& w, Mode mode, const MachineConfig& cfg) {
+  auto ctx = std::make_shared<TraceContext>();
+  ctx->w = &w;
+  ctx->mode = mode;
+  ctx->cfg = cfg;
+  ctx->nprocs = mode == Mode::kSeq ? 1 : cfg.nodes;
+
+  std::vector<std::unique_ptr<TraceCursor>> cursors;
+  cursors.reserve(ctx->nprocs);
+  for (unsigned p = 0; p < ctx->nprocs; ++p)
+    cursors.push_back(std::make_unique<ReductionCursor>(ctx, p));
+  return cursors;
+}
+
+RunResult simulate_reduction(const workloads::Workload& w, Mode mode,
+                             MachineConfig cfg, std::span<double> w_out) {
+  if (mode == Mode::kSeq) cfg.nodes = 1;
+  Machine m(cfg, mode, w.input.pattern.dim);
+  RunResult r = m.run(make_reduction_cursors(w, mode, cfg));
+  if (!w_out.empty()) {
+    SAPP_REQUIRE(w_out.size() == w.input.pattern.dim,
+                 "w_out size must match the reduction array");
+    std::copy(m.w_memory().begin(), m.w_memory().end(), w_out.begin());
+  }
+  return r;
+}
+
+}  // namespace sapp::sim

@@ -1,0 +1,39 @@
+// Trace code generation: the three code versions of §6.2 emitted from one
+// reduction workload.
+//
+//   Seq  — sequential reduction on one processor (speedup denominator),
+//   Sw   — software-only: initialize private arrays, accumulate privately,
+//          merge into the shared array (the rep scheme's memory behaviour),
+//   Hw   — PCLR: ConfigHardware(), reduction loads/stores on the shared
+//          array, CacheFlush(), barrier (Fig. 5's code),
+//   Flex — same trace as Hw; the machine charges the programmable
+//          controller's higher occupancy.
+//
+// Every processor's stream is generated lazily (full-size Nbf is >100 M
+// operations).
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "sim/config.hpp"
+#include "sim/machine.hpp"
+#include "sim/trace.hpp"
+#include "workloads/workload.hpp"
+
+namespace sapp::sim {
+
+/// Build one cursor per node for `w` under `mode`. For kSeq the machine
+/// must have exactly one node.
+[[nodiscard]] std::vector<std::unique_ptr<TraceCursor>> make_reduction_cursors(
+    const workloads::Workload& w, Mode mode, const MachineConfig& cfg);
+
+/// Convenience: build a machine (1 node for kSeq, cfg.nodes otherwise),
+/// run the workload, optionally copy the final shared-array memory into
+/// `w_out` (PCLR value verification).
+RunResult simulate_reduction(const workloads::Workload& w, Mode mode,
+                             MachineConfig cfg,
+                             std::span<double> w_out = {});
+
+}  // namespace sapp::sim

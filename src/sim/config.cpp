@@ -1,0 +1,28 @@
+#include "sim/config.hpp"
+
+#include <sstream>
+
+namespace sapp::sim {
+
+std::string MachineConfig::table1() const {
+  std::ostringstream os;
+  os << "Simulated CC-NUMA (Table 1):\n"
+     << "  nodes: " << nodes << ", 4-issue dynamic @1 GHz, IPC "
+     << effective_ipc << ", pending ld/st " << pending_loads << "/"
+     << pending_stores << ", hide window " << hide_cycles << " cy\n"
+     << "  L1 " << l1_bytes / 1024 << " KB " << l1_assoc << "-way, L2 "
+     << l2_bytes / 1024 << " KB " << l2_assoc << "-way, " << line_bytes
+     << " B lines, hit " << l1_hit_cycles << "/" << l2_hit_cycles
+     << " cy\n"
+     << "  memory round trip local/2-hop " << local_round_trip << "/"
+     << remote_round_trip << " cy, dirty recall +" << recall_extra
+     << " cy\n"
+     << "  directory occupancy " << dir_occupancy
+     << " cy (Flex x" << flex_occupancy_mult << "), FP add II "
+     << fp_initiation << " cy latency " << fp_latency << " cy ("
+     << fp_units << " unit(s), 1/3 clock)\n"
+     << "  PCLR neutral fill " << pclr_fill_cycles << " cy";
+  return os.str();
+}
+
+}  // namespace sapp::sim

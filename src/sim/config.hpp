@@ -1,0 +1,138 @@
+// Simulated machine configuration — Table 1 of the paper.
+//
+//   Processor: 4-issue dynamic, 1 GHz, int/fp/ld-st FUs 4/2/2, window 64,
+//   pending ld/st 8/16, branch penalty 4, 64+64 rename regs.
+//   Memory: L1 32 KB 2-way 64 B 2 cycles; L2 512 KB 4-way 64 B 10 cycles;
+//   local memory round trip 104 cycles; 2-hop round trip 297 cycles.
+//   Directory controller + FP add unit clocked at 1/3 of the processor;
+//   the FP unit is fully pipelined (one add every 3 processor cycles,
+//   latency 2 controller cycles = 6 processor cycles).
+//
+// The processor model is cycle-approximate: bounded outstanding misses
+// (the paper's pending-load/store limits) plus a latency-hiding window
+// standing in for the 64-entry instruction window. DESIGN.md §2 documents
+// this substitution.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace sapp::sim {
+
+/// Which code version the trace generator emits (§6.2).
+enum class Mode {
+  kSeq,   ///< sequential execution on one processor, all data local
+  kSw,    ///< software-only: replicated private arrays + merge (baseline)
+  kHw,    ///< PCLR with hardwired directory controller
+  kFlex,  ///< PCLR with programmable (MAGIC-like) directory controller
+};
+
+[[nodiscard]] constexpr const char* to_string(Mode m) {
+  switch (m) {
+    case Mode::kSeq: return "Seq";
+    case Mode::kSw: return "Sw";
+    case Mode::kHw: return "Hw";
+    case Mode::kFlex: return "Flex";
+  }
+  return "?";
+}
+
+struct MachineConfig {
+  unsigned nodes = 16;
+
+  // --- Processor (Table 1).
+  unsigned issue_width = 4;
+  double effective_ipc = 1.4;     ///< sustained IPC on irregular loop bodies
+  unsigned pending_loads = 8;
+  unsigned pending_stores = 16;
+  /// Cycles of a miss the out-of-order window can hide (≈ window size /
+  /// issue width × dependent-chain slack).
+  unsigned hide_cycles = 24;
+  /// Software barrier cost on the CC-NUMA (per barrier, grows with log P).
+  unsigned barrier_base_cycles = 250;
+
+  // --- Caches (Table 1). L1 is a tag-only latency filter; data and line
+  // state live in the (inclusive) L2.
+  std::size_t l1_bytes = 32 * 1024;
+  unsigned l1_assoc = 2;
+  std::size_t l2_bytes = 512 * 1024;
+  unsigned l2_assoc = 4;
+  unsigned line_bytes = 64;
+  unsigned l1_hit_cycles = 2;
+  unsigned l2_hit_cycles = 12;  ///< L1 miss + L2 hit (2 + 10)
+
+  // --- Memory system (Table 1).
+  unsigned local_round_trip = 104;
+  unsigned remote_round_trip = 297;
+  unsigned recall_extra = 160;     ///< extra for 3-hop dirty recall
+  unsigned inval_base = 30;        ///< invalidation overhead on upgrades
+  unsigned inval_per_sharer = 8;
+  std::size_t page_bytes = 4096;
+
+  // --- Directory controller occupancy (per transaction, processor
+  // cycles). The controller runs at 1/3 of the processor clock; a
+  // transaction takes ~4 controller cycles.
+  unsigned dir_occupancy = 12;
+  /// Programmable (Flex) controller: occupancy multiplier vs. hardwired
+  /// (MAGIC-style firmware instead of hardwired datapath).
+  double flex_occupancy_mult = 6.0;
+  unsigned mem_occupancy = 20;     ///< DRAM access occupancy at the home
+
+  // --- PCLR (§5).
+  /// Reduction-load miss serviced from the local node with a line of
+  /// neutral elements: no DRAM fetch, no network.
+  unsigned pclr_fill_cycles = 30;
+  /// Fully pipelined FP add unit at 1/3 clock: initiation interval 3
+  /// processor cycles per element, latency 6.
+  unsigned fp_initiation = 3;
+  unsigned fp_latency = 6;
+  unsigned fp_units = 1;           ///< ablation: more combine units
+  /// Processor-side cost of scanning one cache line frame during
+  /// CacheFlush(), and of sending one reduction write-back.
+  unsigned flush_scan_per_line = 1;
+  unsigned flush_send_cycles = 4;
+  unsigned config_hw_cycles = 120; ///< ConfigHardware() system call
+  unsigned preempt_cycles = 2000;  ///< OS context-switch overhead (§5.1.4)
+
+  /// §5.1.5: identify reduction data by shadow addresses instead of
+  /// special load/store instructions — no processor, cache or protocol
+  /// changes; the directory recognizes accesses to non-existent memory.
+  bool shadow_addresses = false;
+
+  /// The reduction operation the directory controllers are configured for
+  /// (§5.1.4: one operation type per parallel section; the controller is
+  /// programmed by ConfigHardware).
+  enum class CombineOp : std::uint8_t { kAdd, kMax, kMin };
+  CombineOp combine_op = CombineOp::kAdd;
+
+  /// Include loads of the input streams in the trace (the index lists /
+  /// pair lists each iteration reads; volume comes from
+  /// Workload::input_bytes_per_iter). Disable for microscopic protocol
+  /// tests.
+  bool metadata_loads = true;
+
+  /// Where the pages of the shared read-only input arrays live.
+  enum class InputPlacement {
+    kReaderLocal,  ///< first touch by the loop's block owner (parallel init)
+    kMaster,       ///< first touch by node 0 (master read the input file)
+    kRoundRobin,   ///< page-interleaved across nodes (OS default for shared)
+  };
+  InputPlacement input_placement = InputPlacement::kRoundRobin;
+
+  /// Table 1 rendered for harness headers.
+  [[nodiscard]] std::string table1() const;
+
+  /// The paper's configuration (16 nodes).
+  [[nodiscard]] static MachineConfig paper(unsigned nodes = 16) {
+    MachineConfig c;
+    c.nodes = nodes;
+    return c;
+  }
+
+  [[nodiscard]] unsigned elems_per_line() const {
+    return line_bytes / sizeof(double);
+  }
+};
+
+}  // namespace sapp::sim

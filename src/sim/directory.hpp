@@ -1,0 +1,64 @@
+// Directory state (DASH-like, §5/§6.1).
+//
+// Each node's directory controller tracks, per cached line of the shared
+// space, whether memory is current (Uncached), which nodes hold clean
+// copies (Shared) or which single node holds it dirty (Exclusive). Pages
+// are assigned to homes first-touch ("Pages of shared data are allocated
+// in the memory module of the first processor that accesses them").
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/assert.hpp"
+#include "sim/sim_types.hpp"
+
+namespace sapp::sim {
+
+enum class DirState : std::uint8_t { kUncached, kShared, kExclusive };
+
+struct DirEntry {
+  DirState state = DirState::kUncached;
+  std::uint32_t sharers = 0;  ///< bitmask over nodes (<= 32)
+  std::uint8_t owner = 0;     ///< valid when kExclusive
+
+  [[nodiscard]] unsigned sharer_count() const {
+    return static_cast<unsigned>(__builtin_popcount(sharers));
+  }
+};
+
+/// Global directory + page-home map (logically distributed over the
+/// nodes; the home of a line is the home of its page).
+class Directory {
+ public:
+  explicit Directory(std::size_t page_bytes) : page_bytes_(page_bytes) {}
+
+  /// Home node of `addr`, assigning first-touch to `toucher` on the first
+  /// query for the page.
+  [[nodiscard]] unsigned home_of(Addr addr, unsigned toucher) {
+    const Addr page = addr & ~(page_bytes_ - 1);
+    auto [it, inserted] = page_home_.try_emplace(page, toucher);
+    (void)inserted;
+    return it->second;
+  }
+
+  /// Entry for a line (created Uncached on first use).
+  [[nodiscard]] DirEntry& entry(Addr line_addr) {
+    return entries_[line_addr];
+  }
+
+  /// Entry if it exists (no creation) — for tests.
+  [[nodiscard]] const DirEntry* peek(Addr line_addr) const {
+    auto it = entries_.find(line_addr);
+    return it == entries_.end() ? nullptr : &it->second;
+  }
+
+  void clear_line(Addr line_addr) { entries_.erase(line_addr); }
+
+ private:
+  std::size_t page_bytes_;
+  std::unordered_map<Addr, unsigned> page_home_;
+  std::unordered_map<Addr, DirEntry> entries_;
+};
+
+}  // namespace sapp::sim

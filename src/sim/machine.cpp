@@ -1,0 +1,492 @@
+#include "sim/machine.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/assert.hpp"
+
+namespace sapp::sim {
+
+Machine::Machine(const MachineConfig& cfg, Mode mode, std::size_t w_dim)
+    : cfg_(cfg), mode_(mode), dir_(cfg.page_bytes), wmem_(w_dim, 0.0) {
+  SAPP_REQUIRE(cfg.nodes >= 1 && cfg.nodes <= 32,
+               "directory sharer mask supports up to 32 nodes");
+  SAPP_REQUIRE(cfg.elems_per_line() <= CacheLine::kMaxElems,
+               "line size exceeds the cache frame's data capacity");
+  nodes_.reserve(cfg.nodes);
+  for (unsigned n = 0; n < cfg.nodes; ++n) nodes_.emplace_back(cfg);
+}
+
+unsigned Machine::home_for(Addr line_addr, unsigned toucher) {
+  if (line_addr >= AddressMap::kIdxBase) {
+    switch (cfg_.input_placement) {
+      case MachineConfig::InputPlacement::kMaster:
+        return dir_.home_of(line_addr, 0);
+      case MachineConfig::InputPlacement::kRoundRobin:
+        return static_cast<unsigned>((line_addr / cfg_.page_bytes) %
+                                     cfg_.nodes);
+      case MachineConfig::InputPlacement::kReaderLocal:
+        break;
+    }
+  }
+  return dir_.home_of(line_addr, toucher);
+}
+
+double Machine::neutral_element() const {
+  switch (cfg_.combine_op) {
+    case MachineConfig::CombineOp::kAdd: return 0.0;
+    case MachineConfig::CombineOp::kMax:
+      return -std::numeric_limits<double>::infinity();
+    case MachineConfig::CombineOp::kMin:
+      return std::numeric_limits<double>::infinity();
+  }
+  return 0.0;
+}
+
+double Machine::combine(double a, double b) const {
+  switch (cfg_.combine_op) {
+    case MachineConfig::CombineOp::kAdd: return a + b;
+    case MachineConfig::CombineOp::kMax: return a > b ? a : b;
+    case MachineConfig::CombineOp::kMin: return a < b ? a : b;
+  }
+  return a + b;
+}
+
+Cycle Machine::pclr_dir_occupancy() const {
+  const double occ = static_cast<double>(cfg_.dir_occupancy) *
+                     (mode_ == Mode::kFlex ? cfg_.flex_occupancy_mult : 1.0);
+  return static_cast<Cycle>(occ);
+}
+
+Cycle Machine::reserve_fp(Node& node, Cycle t, Cycle occ) {
+  // Pick the earliest-free combine unit.
+  auto it = std::min_element(node.fp_busy.begin(), node.fp_busy.end());
+  return reserve(*it, t, occ);
+}
+
+void Machine::plain_writeback(unsigned p, Addr line_addr, Cycle t) {
+  const unsigned home = home_for(line_addr, p);
+  Node& h = nodes_[home];
+  const Cycle s = reserve(h.dir_busy, t, cfg_.dir_occupancy);
+  reserve(h.mem_busy, s, cfg_.mem_occupancy);
+  // Memory now current; the directory forgets the owner.
+  dir_.entry(line_addr) = DirEntry{};
+  ++counters_.writebacks_plain;
+}
+
+void Machine::red_writeback(unsigned p, const CacheLine& line, Cycle t) {
+  // §5.1.5: a shadow-address write-back is forwarded to the home of the
+  // corresponding element of the original array.
+  const Addr line_addr = AddressMap::unshadow(line.line_addr);
+  const unsigned home = home_for(line_addr, p);
+  Node& h = nodes_[home];
+
+  const Cycle s = reserve(h.dir_busy, t, pclr_dir_occupancy());
+
+  // §5.1.3: on the first reduction write-back the home checks for stale
+  // plain copies: a dirty copy is recalled and written back, clean sharers
+  // are invalidated. Afterwards the sharing list is empty.
+  DirEntry& e = dir_.entry(line_addr);
+  Cycle ready = s;
+  if (e.state == DirState::kExclusive) {
+    ++counters_.recalls;
+    nodes_[e.owner].l2.invalidate(line_addr);
+    nodes_[e.owner].l1.invalidate(line_addr);
+    ready += cfg_.recall_extra;
+    e = DirEntry{};
+  } else if (e.state == DirState::kShared) {
+    counters_.invalidations += e.sharer_count();
+    for (unsigned q = 0; q < cfg_.nodes; ++q)
+      if (e.sharers & (1u << q)) {
+        nodes_[q].l2.invalidate(line_addr);
+        nodes_[q].l1.invalidate(line_addr);
+      }
+    ready += cfg_.inval_base + cfg_.inval_per_sharer * e.sharer_count();
+    e = DirEntry{};
+  }
+
+  // Combine every element of the line through the (pipelined) FP unit.
+  const unsigned elems = cfg_.elems_per_line();
+  const Cycle occ = static_cast<Cycle>(elems) * cfg_.fp_initiation;
+  const Cycle f = reserve_fp(h, ready, occ);
+  reserve(h.mem_busy, f, cfg_.mem_occupancy);
+  const Cycle complete = f + occ + cfg_.fp_latency;
+  h.quiesce = std::max(h.quiesce, complete);
+
+  // Value tracking: fold the partial results into the shared array
+  // (untouched elements hold the neutral element, so memory is unchanged
+  // for them — exactly the property §5.1.3 relies on).
+  if (AddressMap::is_w(line_addr)) {
+    const std::uint64_t first_elem = line_addr / sizeof(double);
+    for (unsigned k = 0; k < elems; ++k) {
+      const std::uint64_t el = first_elem + k;
+      if (el < wmem_.size()) wmem_[el] = combine(wmem_[el], line.data[k]);
+    }
+  }
+  counters_.combines += elems;
+}
+
+Cycle Machine::global_miss(unsigned p, Addr line_addr, bool is_store,
+                           Cycle t) {
+  const unsigned home = home_for(line_addr, p);
+  Node& h = nodes_[home];
+  const Cycle base =
+      home == p ? cfg_.local_round_trip : cfg_.remote_round_trip;
+
+  // Queueing at the home: the request reaches the home roughly half-way
+  // through the round trip.
+  const Cycle arrive = t + base / 2;
+  const Cycle s = reserve(h.dir_busy, arrive, cfg_.dir_occupancy);
+  const Cycle queue_delay = s - arrive;
+  reserve(h.mem_busy, s, cfg_.mem_occupancy);
+
+  Cycle extra = 0;
+  DirEntry& e = dir_.entry(line_addr);
+  switch (e.state) {
+    case DirState::kUncached:
+      if (is_store) {
+        e.state = DirState::kExclusive;
+        e.owner = static_cast<std::uint8_t>(p);
+      } else {
+        e.state = DirState::kShared;
+        e.sharers = 1u << p;
+      }
+      if (home == p) ++counters_.local_misses; else ++counters_.remote_misses;
+      break;
+    case DirState::kShared:
+      if (is_store) {
+        const std::uint32_t others = e.sharers & ~(1u << p);
+        const unsigned n = static_cast<unsigned>(__builtin_popcount(others));
+        if (n > 0) {
+          counters_.invalidations += n;
+          extra += cfg_.inval_base + cfg_.inval_per_sharer * n;
+          for (unsigned q = 0; q < cfg_.nodes; ++q)
+            if (others & (1u << q)) {
+              nodes_[q].l2.invalidate(line_addr);
+              nodes_[q].l1.invalidate(line_addr);
+            }
+        }
+        e.state = DirState::kExclusive;
+        e.owner = static_cast<std::uint8_t>(p);
+        e.sharers = 0;
+      } else {
+        e.sharers |= 1u << p;
+      }
+      if (home == p) ++counters_.local_misses; else ++counters_.remote_misses;
+      break;
+    case DirState::kExclusive: {
+      const unsigned q = e.owner;
+      if (q != p) {
+        // 3-hop intervention: recall the dirty line from its owner.
+        ++counters_.recalls;
+        extra += cfg_.recall_extra;
+        CacheLine dropped = nodes_[q].l2.invalidate(line_addr);
+        nodes_[q].l1.invalidate(line_addr);
+        (void)dropped;  // plain data is not value-tracked
+        if (is_store) {
+          e.state = DirState::kExclusive;
+          e.owner = static_cast<std::uint8_t>(p);
+          e.sharers = 0;
+        } else {
+          e.state = DirState::kShared;
+          e.sharers = (1u << p) | (1u << q);
+        }
+      } else {
+        // Stale exclusivity of our own (silently evicted) copy.
+        if (!is_store) {
+          e.state = DirState::kShared;
+          e.sharers = 1u << p;
+        }
+      }
+      if (home == p) ++counters_.local_misses; else ++counters_.remote_misses;
+      break;
+    }
+  }
+  return base + extra + queue_delay;
+}
+
+void Machine::handle_eviction(unsigned p, const CacheLine& victim, Cycle t) {
+  if (!victim.valid()) return;
+  nodes_[p].l1.invalidate(victim.line_addr);  // inclusion
+  if (victim.state == LineState::kDirty) {
+    plain_writeback(p, victim.line_addr, t);
+  } else if (victim.state == LineState::kReduction) {
+    red_writeback(p, victim, t);
+    ++counters_.red_lines_displaced;
+  }
+  // kShared victims are dropped silently (the directory keeps a stale
+  // sharer bit; subsequent invalidations to it are harmless).
+}
+
+void Machine::do_memory(unsigned p, const Op& op) {
+  Proc& pr = procs_[p];
+  Node& node = nodes_[p];
+  const Addr line_addr = node.l2.line_of(op.addr);
+  // §5.1.5: with shadow addressing, plain accesses to the shadow region
+  // are recognized as reduction accesses by the directory — no special
+  // instructions needed.
+  const bool is_shadow =
+      cfg_.shadow_addresses && AddressMap::is_shadow(op.addr);
+  const bool is_red = is_shadow ||
+      op.kind == Op::Kind::kLoadRed || op.kind == Op::Kind::kStoreRed;
+  const bool is_store =
+      op.kind == Op::Kind::kStore || op.kind == Op::Kind::kStoreRed;
+  const bool is_red_store = is_red && is_store;
+  Cycle t = pr.clock;
+
+  auto store_red_value = [&](CacheLine& l) {
+    const unsigned k =
+        static_cast<unsigned>((op.addr - line_addr) / sizeof(double));
+    l.data[k] = combine(l.data[k], op.value);
+  };
+
+  // ---- L1 (tag-only) fast path.
+  if (node.l1.find(line_addr) != nullptr) {
+    CacheLine* l2line = node.l2.find(line_addr);
+    SAPP_ASSERT(l2line != nullptr, "L1 must be inclusive in L2");
+    const bool line_red = l2line->state == LineState::kReduction;
+    if (is_red == line_red) {
+      if (is_red_store) {
+        store_red_value(*l2line);
+      } else if (op.kind == Op::Kind::kStore) {
+        if (l2line->state == LineState::kShared) {
+          // Upgrade: ask the home for exclusivity.
+          const Cycle lat = global_miss(p, line_addr, /*is_store=*/true, t);
+          t += lat / 2;  // upgrade is one-way-ish; cheaper than a full miss
+          l2line->state = LineState::kDirty;
+        } else {
+          l2line->state = LineState::kDirty;
+        }
+      }
+      ++counters_.l1_hits;
+      pr.clock = t + 1;  // pipelined L1 hit
+      return;
+    }
+    // State mismatch (plain access to a reduction line or vice versa):
+    // fall through to the slow path below after dropping the L1 tag.
+    node.l1.invalidate(line_addr);
+  }
+
+  // ---- L2 lookup.
+  CacheLine* l2line = node.l2.find(line_addr);
+  if (l2line != nullptr) {
+    const bool line_red = l2line->state == LineState::kReduction;
+    if (!is_red && line_red) {
+      // Plain access to a line still in reduction state (possible when a
+      // loop's flush was skipped): combine it first, then refetch.
+      red_writeback(p, *l2line, t);
+      ++counters_.red_lines_flushed;
+      node.l2.invalidate(line_addr);
+      l2line = nullptr;
+    } else if (is_red && !line_red) {
+      // §5.1.2: reduction access hits a plain line: write back if dirty,
+      // invalidate, then treat as a reduction miss.
+      if (l2line->state == LineState::kDirty)
+        plain_writeback(p, line_addr, t);
+      node.l2.invalidate(line_addr);
+      l2line = nullptr;
+    } else {
+      // Genuine L2 hit.
+      if (is_red_store) {
+        store_red_value(*l2line);
+      } else if (op.kind == Op::Kind::kStore) {
+        if (l2line->state == LineState::kShared) {
+          const Cycle lat = global_miss(p, line_addr, /*is_store=*/true, t);
+          t += lat / 2;
+          l2line->state = LineState::kDirty;
+        }
+        l2line->state = LineState::kDirty;
+      }
+      // Install in L1 (tag only; evictions silent).
+      node.l1.evict_and_install(line_addr, l2line->state);
+      ++counters_.l2_hits;
+      pr.clock = t + cfg_.l2_hit_cycles;
+      return;
+    }
+  }
+
+  // ---- Miss: global transaction (or local neutral fill for PCLR).
+  Cycle latency;
+  LineState new_state;
+  if (is_red) {
+    // Local directory intercepts and supplies a line of neutral elements.
+    Node& local = nodes_[p];
+    const Cycle s = reserve(local.dir_busy, t, pclr_dir_occupancy());
+    latency = (s - t) + cfg_.pclr_fill_cycles;
+    new_state = LineState::kReduction;
+    ++counters_.red_fills;
+  } else {
+    latency = global_miss(p, line_addr, is_store, t);
+    new_state = is_store ? LineState::kDirty : LineState::kShared;
+  }
+
+  // ---- MSHR occupancy + latency hiding.
+  if (is_store) {
+    auto it = std::min_element(pr.pending_stores.begin(),
+                               pr.pending_stores.end());
+    if (*it > t) t = *it;  // all store slots busy: stall until one frees
+    *it = t + latency;
+    pr.clock = t + 1;  // fire-and-forget through the store buffer
+  } else {
+    // Non-blocking loads: the out-of-order window hides miss latency until
+    // the pending-load slots are exhausted; then the processor stalls for
+    // the oldest outstanding miss. Sustained throughput under a miss
+    // stream is pending_loads misses per round trip. The hide window
+    // bounds how far past the oldest outstanding miss the core can run.
+    auto it =
+        std::min_element(pr.pending_loads.begin(), pr.pending_loads.end());
+    if (*it > t) t = *it;  // all slots busy: stall until one frees
+    const Cycle completion = t + latency;
+    *it = completion;
+    const Cycle oldest =
+        *std::min_element(pr.pending_loads.begin(), pr.pending_loads.end());
+    const Cycle bound = oldest > cfg_.hide_cycles
+                            ? oldest - cfg_.hide_cycles
+                            : 0;
+    pr.clock = std::max(t + 2, bound > completion ? completion : bound);
+  }
+
+  // ---- Install the line (L2 then L1); evictions may trigger write-backs.
+  CacheLine victim = node.l2.evict_and_install(line_addr, new_state);
+  handle_eviction(p, victim, t);
+  CacheLine* fresh = node.l2.find(line_addr);
+  SAPP_ASSERT(fresh != nullptr, "just-installed line must be present");
+  if (new_state == LineState::kReduction)
+    fresh->data.fill(neutral_element());  // §5.1.2's line of neutral elements
+  if (is_red_store) store_red_value(*fresh);
+  node.l1.evict_and_install(line_addr, new_state);
+}
+
+void Machine::do_flush(unsigned p) {
+  Proc& pr = procs_[p];
+  Node& node = nodes_[p];
+  Cycle t = pr.clock;
+
+  // Sweep cost proportional to the cache size (§5.2: "the work is at worst
+  // proportional to the size of the cache, rather than to the size of the
+  // shared array").
+  t += node.l2.total_frames() * cfg_.flush_scan_per_line;
+
+  // Collect and send the reduction lines; sends are pipelined.
+  std::vector<CacheLine> reds;
+  node.l2.for_each([&](CacheLine& l) {
+    if (l.state == LineState::kReduction) reds.push_back(l);
+  });
+  for (const CacheLine& l : reds) {
+    t += cfg_.flush_send_cycles;
+    red_writeback(p, l, t);
+    node.l2.invalidate(l.line_addr);
+    node.l1.invalidate(l.line_addr);
+    ++counters_.red_lines_flushed;
+  }
+  pr.clock = t;
+}
+
+void Machine::resolve_barrier(RunResult& result) {
+  // All memory must quiesce: outstanding misses, store buffers and
+  // background combines complete before the barrier releases.
+  Cycle release = 0;
+  const char* label = "";
+  for (Proc& pr : procs_) {
+    release = std::max(release, pr.clock);
+    for (Cycle c : pr.pending_loads) release = std::max(release, c);
+    for (Cycle c : pr.pending_stores) release = std::max(release, c);
+    if (pr.waiting) label = pr.barrier_label;
+  }
+  for (Node& n : nodes_) {
+    release = std::max(release, n.quiesce);
+    for (Cycle c : n.fp_busy) release = std::max(release, c);
+    release = std::max({release, n.dir_busy, n.mem_busy});
+  }
+  // Software barrier on the CC-NUMA: cost grows with the tree depth.
+  if (cfg_.nodes > 1) {
+    unsigned depth = 0;
+    for (unsigned n = cfg_.nodes - 1; n > 0; n >>= 1) ++depth;
+    release += cfg_.barrier_base_cycles * depth;
+  }
+  result.phase_cycles[label] += release - last_barrier_time_;
+  last_barrier_time_ = release;
+  for (Proc& pr : procs_) {
+    if (pr.done) continue;
+    pr.clock = release;
+    pr.waiting = false;
+  }
+}
+
+RunResult Machine::run(std::vector<std::unique_ptr<TraceCursor>> cursors) {
+  SAPP_REQUIRE(cursors.size() == cfg_.nodes,
+               "need exactly one cursor per node");
+  procs_.clear();
+  procs_.resize(cfg_.nodes);
+  for (unsigned p = 0; p < cfg_.nodes; ++p) {
+    procs_[p].cursor = std::move(cursors[p]);
+    procs_[p].pending_loads.assign(cfg_.pending_loads, 0);
+    procs_[p].pending_stores.assign(cfg_.pending_stores, 0);
+  }
+  counters_ = Counters{};
+  last_barrier_time_ = 0;
+
+  RunResult result;
+  unsigned active = cfg_.nodes;
+  while (active > 0) {
+    // Pick the earliest runnable processor (deterministic tie-break by id).
+    unsigned best = cfg_.nodes;
+    Cycle best_clock = std::numeric_limits<Cycle>::max();
+    bool any_runnable = false;
+    for (unsigned p = 0; p < cfg_.nodes; ++p) {
+      Proc& pr = procs_[p];
+      if (pr.done || pr.waiting) continue;
+      any_runnable = true;
+      if (pr.clock < best_clock) {
+        best_clock = pr.clock;
+        best = p;
+      }
+    }
+    if (!any_runnable) {
+      resolve_barrier(result);
+      continue;
+    }
+
+    Proc& pr = procs_[best];
+    const Op op = pr.cursor->next();
+    switch (op.kind) {
+      case Op::Kind::kCompute:
+        pr.clock += op.cycles;
+        break;
+      case Op::Kind::kLoad:
+      case Op::Kind::kStore:
+      case Op::Kind::kLoadRed:
+      case Op::Kind::kStoreRed:
+        do_memory(best, op);
+        break;
+      case Op::Kind::kFlush:
+        do_flush(best);
+        break;
+      case Op::Kind::kConfig:
+        pr.clock += cfg_.config_hw_cycles;
+        break;
+      case Op::Kind::kPreempt:
+        // §5.1.4: the OS flushes reduction data when the process is
+        // preempted and reprograms the controller on reschedule.
+        do_flush(best);
+        pr.clock += cfg_.preempt_cycles + cfg_.config_hw_cycles;
+        break;
+      case Op::Kind::kBarrier:
+        pr.waiting = true;
+        pr.barrier_label = op.label;
+        break;
+      case Op::Kind::kEnd:
+        pr.done = true;
+        --active;
+        break;
+    }
+  }
+
+  Cycle end = last_barrier_time_;
+  for (const Proc& pr : procs_) end = std::max(end, pr.clock);
+  result.total_cycles = end;
+  result.counters = counters_;
+  return result;
+}
+
+}  // namespace sapp::sim

@@ -1,0 +1,109 @@
+// The simulated CC-NUMA machine (§6.1) with PCLR support (§5).
+//
+// Deterministic cycle-approximate simulation: processors execute their
+// trace cursors; the globally earliest processor advances one operation at
+// a time, reserving shared resources (home directory controller, combine
+// FP unit, memory port) on monotone per-node timelines. Contention is
+// modeled at the source/destination ports — the same granularity as the
+// paper's simulator ("contention is accurately modeled ... except in the
+// network, where it is modeled only at the source and destination ports").
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sim/cache.hpp"
+#include "sim/config.hpp"
+#include "sim/directory.hpp"
+#include "sim/trace.hpp"
+
+namespace sapp::sim {
+
+class Machine {
+ public:
+  /// `w_dim` sizes the shared reduction array whose values the simulator
+  /// tracks through PCLR combines (correctness checks compare it against
+  /// the sequential reduction).
+  Machine(const MachineConfig& cfg, Mode mode, std::size_t w_dim);
+
+  /// Run one cursor per processor to completion; cursors must emit
+  /// identical barrier sequences.
+  RunResult run(std::vector<std::unique_ptr<TraceCursor>> cursors);
+
+  /// Final contents of the shared reduction array (updated by PCLR
+  /// combines; plain stores are not value-tracked).
+  [[nodiscard]] std::span<const double> w_memory() const { return wmem_; }
+
+  /// Directory introspection for tests.
+  [[nodiscard]] const Directory& directory() const { return dir_; }
+
+ private:
+  struct Node {
+    Cache l1;
+    Cache l2;
+    Cycle dir_busy = 0;
+    Cycle mem_busy = 0;
+    std::vector<Cycle> fp_busy;  ///< one timeline per combine unit
+    Cycle quiesce = 0;           ///< completion of the last background combine
+
+    Node(const MachineConfig& c)
+        : l1(c.l1_bytes, c.l1_assoc, c.line_bytes),
+          l2(c.l2_bytes, c.l2_assoc, c.line_bytes),
+          fp_busy(c.fp_units, 0) {}
+  };
+
+  struct Proc {
+    std::unique_ptr<TraceCursor> cursor;
+    Cycle clock = 0;
+    std::vector<Cycle> pending_loads;
+    std::vector<Cycle> pending_stores;
+    bool waiting = false;
+    bool done = false;
+    const char* barrier_label = "";
+  };
+
+  // --- Op dispatch.
+  void do_memory(unsigned p, const Op& op);
+  void do_flush(unsigned p);
+  void resolve_barrier(RunResult& result);
+
+  // --- Memory-system helpers.
+  /// Latency of a global (L2-miss) transaction for a plain line.
+  Cycle global_miss(unsigned p, Addr line_addr, bool is_store, Cycle t);
+  /// Handle eviction of `victim` from p's L2 at time t.
+  void handle_eviction(unsigned p, const CacheLine& victim, Cycle t);
+  /// Background combine of a reduction line at its home.
+  void red_writeback(unsigned p, const CacheLine& line, Cycle t);
+  /// Plain write-back of a dirty line.
+  void plain_writeback(unsigned p, Addr line_addr, Cycle t);
+  /// Home node of a line (first-touch, with input regions pinned to the
+  /// master when cfg_.inputs_on_master).
+  unsigned home_for(Addr line_addr, unsigned toucher);
+  /// Reserve `occ` cycles on `timeline` no earlier than t; returns start.
+  static Cycle reserve(Cycle& timeline, Cycle t, Cycle occ) {
+    const Cycle start = timeline > t ? timeline : t;
+    timeline = start + occ;
+    return start;
+  }
+  Cycle reserve_fp(Node& node, Cycle t, Cycle occ);
+
+  /// PCLR directory occupancy (Flex pays the firmware multiplier).
+  [[nodiscard]] Cycle pclr_dir_occupancy() const;
+  /// Neutral element / combine function of the configured reduction
+  /// operation (§5.1.4: the controller is programmed per parallel section).
+  [[nodiscard]] double neutral_element() const;
+  [[nodiscard]] double combine(double a, double b) const;
+
+  MachineConfig cfg_;
+  Mode mode_;
+  Directory dir_;
+  std::vector<Node> nodes_;
+  std::vector<Proc> procs_;
+  std::vector<double> wmem_;
+  Counters counters_;
+  Cycle last_barrier_time_ = 0;
+};
+
+}  // namespace sapp::sim

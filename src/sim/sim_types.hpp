@@ -1,0 +1,102 @@
+// Basic simulator types: addresses, trace operations, counters.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace sapp::sim {
+
+using Addr = std::uint64_t;
+using Cycle = std::uint64_t;
+
+/// Address-space layout of a simulated run. Regions are disjoint and
+/// page-aligned; home assignment is first-touch within each region.
+///
+/// The shadow region implements §5.1.5: shadow addresses differ from the
+/// original reduction array "in a known manner" (here: one high bit) and
+/// map to no physical memory, so the directory recognizes accesses to them
+/// as reduction accesses without special instructions, cache states or
+/// protocol transactions.
+struct AddressMap {
+  static constexpr Addr kWBase = 0x0000'0000'0000ull;     ///< shared reduction array
+  static constexpr Addr kPrivBase = 0x0100'0000'0000ull;  ///< Sw private arrays
+  static constexpr Addr kPrivStride = 0x0000'1000'0000ull;///< per-processor
+  static constexpr Addr kIdxBase = 0x0200'0000'0000ull;   ///< index stream
+  static constexpr Addr kValBase = 0x0300'0000'0000ull;   ///< value stream
+  static constexpr Addr kShadowBit = 0x8000'0000'0000ull; ///< §5.1.5 shadow arrays
+
+  [[nodiscard]] static Addr w_elem(std::uint64_t e) {
+    return kWBase + e * sizeof(double);
+  }
+  [[nodiscard]] static Addr priv_elem(unsigned proc, std::uint64_t e) {
+    return kPrivBase + proc * kPrivStride + e * sizeof(double);
+  }
+  [[nodiscard]] static Addr idx_entry(std::uint64_t j) {
+    return kIdxBase + j * sizeof(std::uint32_t);
+  }
+  [[nodiscard]] static Addr val_entry(std::uint64_t j) {
+    return kValBase + j * sizeof(double);
+  }
+  [[nodiscard]] static Addr shadow_of(Addr a) { return a | kShadowBit; }
+  [[nodiscard]] static Addr unshadow(Addr a) { return a & ~kShadowBit; }
+  [[nodiscard]] static bool is_shadow(Addr a) {
+    return (a & kShadowBit) != 0;
+  }
+  [[nodiscard]] static bool is_w(Addr a) {
+    return unshadow(a) < kPrivBase;
+  }
+};
+
+/// One trace operation produced by a cursor.
+struct Op {
+  enum class Kind : std::uint8_t {
+    kCompute,   ///< advance the processor by `cycles`
+    kLoad,      ///< plain load of `addr`
+    kStore,     ///< plain store to `addr`
+    kLoadRed,   ///< reduction load (PCLR special instruction)
+    kStoreRed,  ///< reduction store; `value` is the accumulated delta
+    kFlush,     ///< CacheFlush(): write all reduction lines back
+    kConfig,    ///< ConfigHardware() system call
+    kPreempt,   ///< OS preemption: flush reduction data + reprogram (§5.1.4)
+    kBarrier,   ///< named phase barrier
+    kEnd,       ///< trace exhausted
+  };
+  Kind kind = Kind::kEnd;
+  Addr addr = 0;
+  std::uint32_t cycles = 0;   ///< for kCompute
+  double value = 0.0;         ///< for kStoreRed
+  const char* label = "";     ///< for kBarrier (phase name)
+};
+
+/// Event counters of one simulated run.
+struct Counters {
+  std::uint64_t l1_hits = 0;
+  std::uint64_t l2_hits = 0;
+  std::uint64_t local_misses = 0;
+  std::uint64_t remote_misses = 0;
+  std::uint64_t recalls = 0;          ///< 3-hop dirty interventions
+  std::uint64_t invalidations = 0;
+  std::uint64_t writebacks_plain = 0;
+  std::uint64_t red_fills = 0;        ///< neutral-element line fills
+  std::uint64_t red_lines_displaced = 0;  ///< combined during the loop
+  std::uint64_t red_lines_flushed = 0;    ///< combined at CacheFlush()
+  std::uint64_t combines = 0;         ///< element combines at directories
+};
+
+/// Result of one simulated run.
+struct RunResult {
+  Cycle total_cycles = 0;
+  /// Phase name -> cycles ("init", "loop", "merge"; PCLR's flush is
+  /// reported under "merge" to match Fig. 6's buckets).
+  std::map<std::string, Cycle> phase_cycles;
+  Counters counters;
+
+  [[nodiscard]] Cycle phase(const std::string& name) const {
+    auto it = phase_cycles.find(name);
+    return it == phase_cycles.end() ? 0 : it->second;
+  }
+};
+
+}  // namespace sapp::sim

@@ -1,0 +1,36 @@
+// Trace cursor: lazily generated per-processor instruction stream.
+//
+// Traces are generated on the fly (a full Nbf run is >100 M operations;
+// materializing it would need gigabytes). A cursor yields one Op at a
+// time; kEnd terminates the stream.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "sim/sim_types.hpp"
+
+namespace sapp::sim {
+
+class TraceCursor {
+ public:
+  virtual ~TraceCursor() = default;
+  /// Produce the next operation (kEnd forever once exhausted).
+  virtual Op next() = 0;
+};
+
+/// Cursor over a pre-built vector of ops (protocol unit tests).
+class VectorCursor final : public TraceCursor {
+ public:
+  explicit VectorCursor(std::vector<Op> ops) : ops_(std::move(ops)) {}
+  Op next() override {
+    if (pos_ >= ops_.size()) return Op{};  // kEnd
+    return ops_[pos_++];
+  }
+
+ private:
+  std::vector<Op> ops_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace sapp::sim

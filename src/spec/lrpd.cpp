@@ -1,0 +1,200 @@
+#include "spec/lrpd.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <limits>
+
+#include "common/assert.hpp"
+
+namespace sapp {
+
+namespace {
+
+constexpr std::uint32_t kNoIter = std::numeric_limits<std::uint32_t>::max();
+
+// Per-element flags accumulated during marking.
+enum : std::uint8_t {
+  kFWritten = 1u << 0,        // plain write somewhere
+  kFExposedRead = 1u << 1,    // read with no earlier write in its iteration
+  kFReduction = 1u << 2,      // reduction access somewhere
+  kFMultiIterWrite = 1u << 3, // written (or reduced) in >= 2 iterations
+  kFMultiIterTouch = 1u << 4, // touched by >= 2 iterations
+};
+
+struct Shadow {
+  std::vector<std::uint8_t> flags;
+  std::vector<std::uint32_t> first_write;  // earliest iteration writing e
+  std::vector<std::uint32_t> last_touch_iter;  // dedup within iteration
+  std::vector<std::uint32_t> write_iter;       // earliest writer (plain or red)
+
+  explicit Shadow(std::size_t dim)
+      : flags(dim, 0),
+        first_write(dim, kNoIter),
+        last_touch_iter(dim, kNoIter),
+        write_iter(dim, kNoIter) {}
+};
+
+}  // namespace
+
+LrpdResult lrpd_test(const SpeculativeLoop& loop, ThreadPool& pool) {
+  const std::size_t dim = loop.dim;
+  const std::size_t n = loop.iterations.size();
+  const unsigned P = pool.size();
+
+  // ---- Marking phase (parallel, processor-wise): each thread marks its
+  // block of iterations into a private shadow.
+  std::vector<Shadow> shadows;
+  shadows.reserve(P);
+  for (unsigned t = 0; t < P; ++t) shadows.emplace_back(dim);
+
+  pool.parallel_for(n, [&](unsigned tid, Range rg) {
+    Shadow& sh = shadows[tid];
+    // Written-in-current-iteration marker for exposed-read detection.
+    std::vector<std::uint32_t> wrote_this_iter(dim, kNoIter);
+    for (std::size_t i = rg.begin; i < rg.end; ++i) {
+      const auto iter = static_cast<std::uint32_t>(i);
+      for (const auto& [e, kind] : loop.iterations[i].ops) {
+        SAPP_ASSERT(e < dim, "element out of range");
+        // Multi-iteration touch tracking (dedup repeats inside i).
+        if (sh.last_touch_iter[e] != iter) {
+          if (sh.last_touch_iter[e] != kNoIter)
+            sh.flags[e] |= kFMultiIterTouch;
+          sh.last_touch_iter[e] = iter;
+        }
+        switch (kind) {
+          case Access::kRead:
+            if (wrote_this_iter[e] != iter) sh.flags[e] |= kFExposedRead;
+            break;
+          case Access::kWrite:
+            sh.flags[e] |= kFWritten;
+            wrote_this_iter[e] = iter;
+            if (sh.write_iter[e] == kNoIter) {
+              sh.write_iter[e] = iter;
+            } else if (sh.write_iter[e] != iter) {
+              sh.flags[e] |= kFMultiIterWrite;
+            }
+            if (sh.first_write[e] == kNoIter) sh.first_write[e] = iter;
+            break;
+          case Access::kReduction:
+            sh.flags[e] |= kFReduction;
+            if (sh.write_iter[e] == kNoIter) {
+              sh.write_iter[e] = iter;
+            } else if (sh.write_iter[e] != iter) {
+              sh.flags[e] |= kFMultiIterWrite;
+            }
+            // For flow-dependence purposes a reduction update defines the
+            // element: a later plain read of it is a genuine sink.
+            if (sh.first_write[e] == kNoIter) sh.first_write[e] = iter;
+            break;
+        }
+      }
+    }
+  });
+
+  // ---- Merge phase (parallel over elements): fold the P shadows.
+  Shadow merged(dim);
+  pool.parallel_for(dim, [&](unsigned, Range rg) {
+    for (std::size_t e = rg.begin; e < rg.end; ++e) {
+      std::uint8_t f = 0;
+      std::uint32_t fw = kNoIter;
+      unsigned touching_threads = 0;
+      unsigned writing_threads = 0;
+      for (unsigned t = 0; t < P; ++t) {
+        const Shadow& sh = shadows[t];
+        f |= sh.flags[e];
+        if (sh.first_write[e] != kNoIter)
+          fw = std::min(fw, sh.first_write[e]);
+        if (sh.last_touch_iter[e] != kNoIter) ++touching_threads;
+        if (sh.write_iter[e] != kNoIter) ++writing_threads;
+      }
+      if (touching_threads > 1) f |= kFMultiIterTouch;
+      if (writing_threads > 1) f |= kFMultiIterWrite;
+      merged.flags[e] = f;
+      merged.first_write[e] = fw;
+    }
+  });
+
+  // ---- Analysis phase.
+  // An element is a *conflict* when written/reduced in >=2 iterations, or
+  // written in one and touched in another.
+  // Conflicts are benign when the element is privatizable (no exposed read
+  // anywhere) or reduction-only (no plain access at all).
+  bool any_conflict = false;
+  bool needs_privatization = false;
+  bool needs_reduction = false;
+  std::atomic<std::uint32_t> earliest_sink{
+      static_cast<std::uint32_t>(n)};
+
+  std::vector<std::uint8_t> genuine(dim, 0);
+  for (std::size_t e = 0; e < dim; ++e) {
+    const std::uint8_t f = merged.flags[e];
+    const bool written = (f & (kFWritten | kFReduction)) != 0;
+    const bool conflict = written && (f & kFMultiIterTouch) != 0;
+    if (!conflict) continue;
+    any_conflict = true;
+    const bool reduction_only =
+        (f & kFReduction) != 0 && (f & (kFWritten | kFExposedRead)) == 0;
+    const bool privatizable = (f & kFExposedRead) == 0;
+    if (reduction_only) {
+      needs_reduction = true;
+    } else if (privatizable) {
+      needs_privatization = true;
+    } else {
+      genuine[e] = 1;  // cross-iteration flow dependence possible
+    }
+  }
+
+  bool any_genuine = std::any_of(genuine.begin(), genuine.end(),
+                                 [](std::uint8_t g) { return g != 0; });
+
+  // ---- Sink pass: earliest iteration performing an exposed read of an
+  // element first written by a strictly earlier iteration.
+  if (any_genuine) {
+    pool.parallel_for(n, [&](unsigned, Range rg) {
+      std::vector<std::uint32_t> wrote_this_iter(dim, kNoIter);
+      std::uint32_t local_sink = static_cast<std::uint32_t>(n);
+      for (std::size_t i = rg.begin; i < rg.end; ++i) {
+        const auto iter = static_cast<std::uint32_t>(i);
+        if (iter >= local_sink) break;
+        for (const auto& [e, kind] : loop.iterations[i].ops) {
+          if (kind == Access::kWrite) wrote_this_iter[e] = iter;
+          if (!genuine[e]) continue;
+          if (kind == Access::kRead && wrote_this_iter[e] != iter &&
+              merged.first_write[e] < iter) {
+            local_sink = iter;
+            break;
+          }
+        }
+      }
+      std::uint32_t cur = earliest_sink.load(std::memory_order_relaxed);
+      while (local_sink < cur &&
+             !earliest_sink.compare_exchange_weak(cur, local_sink,
+                                                  std::memory_order_relaxed)) {
+      }
+    });
+  }
+
+  LrpdResult r;
+  if (!any_conflict) {
+    r.fully_parallel = true;
+    r.first_dependence_sink = n;
+  } else if (!any_genuine) {
+    r.parallel_after_privatization = needs_privatization;
+    r.valid_reduction = needs_reduction;
+    // A loop can need both; both flags set is fine (both tests passed).
+    if (!needs_privatization && !needs_reduction) r.fully_parallel = true;
+    r.first_dependence_sink = n;
+  } else {
+    r.first_dependence_sink = earliest_sink.load();
+    // No flow-dependence sink found: the arcs on the flagged elements are
+    // WAR only (reads precede every write), which copy-in privatization
+    // with in-order commit removes. The loop passed.
+    if (r.first_dependence_sink >= n) {
+      r.parallel_after_privatization = true;
+      r.valid_reduction = needs_reduction;
+    }
+  }
+  return r;
+}
+
+}  // namespace sapp

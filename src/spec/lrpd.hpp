@@ -1,0 +1,74 @@
+// The LRPD test (§3, refs [16,17]) — speculative run-time loop
+// parallelization with privatization and reduction validation.
+//
+// The loop is executed speculatively in parallel while shadow arrays track,
+// per element of the array under test:
+//   * whether it was read before any write in some iteration (exposed read),
+//   * whether it was written in more than one iteration,
+//   * whether it was only ever accessed as `x = x ⊕ e` (reduction-like).
+// After the parallel phase, a validation pass decides whether the loop was
+// fully parallel (possibly after privatization), a parallel reduction, or
+// has genuine cross-iteration dependences (speculation failed → the caller
+// re-executes sequentially from the checkpoint).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+
+namespace sapp {
+
+/// How one iteration touches one element of the shadowed array.
+enum class Access : std::uint8_t {
+  kRead,        ///< plain read
+  kWrite,       ///< plain write (kills earlier values)
+  kReduction,   ///< x = x ⊕ e update
+};
+
+/// One iteration's trace: the element/type pairs it performs, in order.
+/// The test only needs the access trace, not the actual values.
+struct IterationAccesses {
+  std::vector<std::pair<std::uint32_t, Access>> ops;
+};
+
+/// A loop abstracted for speculation: per-iteration access traces over an
+/// array of `dim` elements.
+struct SpeculativeLoop {
+  std::size_t dim = 0;
+  std::vector<IterationAccesses> iterations;
+};
+
+/// Verdict of the LRPD test.
+struct LrpdResult {
+  bool fully_parallel = false;   ///< no dependences at all
+  bool parallel_after_privatization = false;  ///< deps removable by privatization
+  bool valid_reduction = false;  ///< all conflicting accesses are reductions
+  /// The earliest iteration that is the *sink* of a genuine dependence
+  /// (== iterations.size() when none). R-LRPD restarts from here.
+  std::size_t first_dependence_sink = 0;
+
+  [[nodiscard]] bool passed() const {
+    return fully_parallel || parallel_after_privatization || valid_reduction;
+  }
+};
+
+/// Shadow-array state for the marking phase. Exposed for tests.
+struct ShadowFlags {
+  // Per element: bit 0 = written, bit 1 = exposed read (read w/o earlier
+  // write in the same iteration), bit 2 = written in >1 iteration,
+  // bit 3 = non-reduction access seen, bit 4 = reduction access seen.
+  std::vector<std::uint8_t> flags;
+  std::vector<std::uint32_t> first_writer;  // iteration of first write
+  std::vector<std::uint32_t> last_writer;
+};
+
+/// Run the marking + analysis phases of the LRPD test over `loop`,
+/// executing the marking in parallel on `pool`. Deterministic: marking
+/// uses per-thread shadows merged in element order.
+[[nodiscard]] LrpdResult lrpd_test(const SpeculativeLoop& loop,
+                                   ThreadPool& pool);
+
+}  // namespace sapp

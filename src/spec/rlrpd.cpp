@@ -1,0 +1,171 @@
+#include "spec/rlrpd.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace sapp {
+
+namespace {
+
+/// Direct execution against the shared array.
+class DirectArray final : public SpecArray {
+ public:
+  explicit DirectArray(std::span<double> data) : data_(data) {}
+  double read(std::uint32_t e) override { return data_[e]; }
+  void write(std::uint32_t e, double v) override { data_[e] = v; }
+  void reduce_add(std::uint32_t e, double v) override { data_[e] += v; }
+
+ private:
+  std::span<double> data_;
+};
+
+/// Speculative execution of one block: copy-in reads from the committed
+/// state, private write buffer, reduction accumulators, and the access
+/// sets the validation phase needs.
+class BlockArray final : public SpecArray {
+ public:
+  explicit BlockArray(std::span<const double> committed)
+      : committed_(committed) {}
+
+  double read(std::uint32_t e) override {
+    if (auto it = written_.find(e); it != written_.end()) {
+      // Value produced inside this block; accumulate pending reductions.
+      return it->second;
+    }
+    exposed_reads_.insert(e);  // observed committed state -> potential sink
+    double v = committed_[e];
+    if (auto it = red_.find(e); it != red_.end()) v += it->second;
+    return v;
+  }
+
+  void write(std::uint32_t e, double v) override {
+    written_[e] = v;
+    red_.erase(e);  // write kills pending accumulation
+  }
+
+  void reduce_add(std::uint32_t e, double v) override {
+    if (auto it = written_.find(e); it != written_.end()) {
+      it->second += v;  // local to the block, not a cross-block reduction
+    } else {
+      red_[e] += v;
+    }
+  }
+
+  /// Elements whose committed value this block observed.
+  [[nodiscard]] const std::unordered_set<std::uint32_t>& exposed_reads()
+      const {
+    return exposed_reads_;
+  }
+  /// Elements this block defines (writes) or accumulates into.
+  [[nodiscard]] const std::unordered_map<std::uint32_t, double>& written()
+      const {
+    return written_;
+  }
+  [[nodiscard]] const std::unordered_map<std::uint32_t, double>& reduced()
+      const {
+    return red_;
+  }
+
+  /// Apply this block's effects to the shared state (called in block order
+  /// for committed blocks only).
+  void commit(std::span<double> data) const {
+    for (const auto& [e, v] : written_) data[e] = v;
+    for (const auto& [e, v] : red_) data[e] += v;
+  }
+
+ private:
+  std::span<const double> committed_;
+  std::unordered_map<std::uint32_t, double> written_;
+  std::unordered_map<std::uint32_t, double> red_;
+  std::unordered_set<std::uint32_t> exposed_reads_;
+};
+
+}  // namespace
+
+void sequential_execute(std::size_t n, const SpecLoopBody& body,
+                        std::span<double> data) {
+  DirectArray arr(data);
+  for (std::size_t i = 0; i < n; ++i) body(i, arr);
+}
+
+RlrpdStats rlrpd_execute(std::size_t n, const SpecLoopBody& body,
+                         std::span<double> data, ThreadPool& pool,
+                         const RlrpdConfig& cfg) {
+  RlrpdStats stats;
+  const unsigned P = pool.size();
+  std::size_t start = 0;
+
+  while (start < n) {
+    if (cfg.max_rounds != 0 && stats.rounds >= cfg.max_rounds) {
+      // Give up on speculation; finish sequentially (always correct).
+      DirectArray arr(data);
+      for (std::size_t i = start; i < n; ++i) body(i, arr);
+      stats.committed = n;
+      stats.success = false;
+      return stats;
+    }
+    ++stats.rounds;
+
+    const std::size_t remaining = n - start;
+    const unsigned blocks = static_cast<unsigned>(
+        std::min<std::size_t>(P, remaining));
+
+    // --- Speculative parallel execution of the blocks.
+    std::vector<BlockArray> arrs;
+    arrs.reserve(blocks);
+    for (unsigned b = 0; b < blocks; ++b)
+      arrs.emplace_back(std::span<const double>(data.data(), data.size()));
+    std::vector<Range> ranges(blocks);
+    pool.run([&](unsigned tid) {
+      if (tid >= blocks) return;
+      const Range r = static_block(remaining, tid, blocks);
+      ranges[tid] = Range{start + r.begin, start + r.end};
+      for (std::size_t i = ranges[tid].begin; i < ranges[tid].end; ++i)
+        body(i, arrs[tid]);
+    });
+
+    // --- Validation: earliest block whose exposed reads intersect the
+    // writes/reductions of any earlier block in this round.
+    std::unordered_set<std::uint32_t> defined;
+    unsigned fail_block = blocks;
+    for (unsigned b = 0; b < blocks; ++b) {
+      if (b > 0) {
+        bool conflict = false;
+        for (std::uint32_t e : arrs[b].exposed_reads())
+          if (defined.contains(e)) {
+            conflict = true;
+            break;
+          }
+        if (conflict) {
+          fail_block = b;
+          break;
+        }
+      }
+      for (const auto& [e, v] : arrs[b].written()) {
+        (void)v;
+        defined.insert(e);
+      }
+      for (const auto& [e, v] : arrs[b].reduced()) {
+        (void)v;
+        defined.insert(e);
+      }
+    }
+
+    // --- Commit the correct prefix, in block order.
+    for (unsigned b = 0; b < fail_block; ++b) {
+      arrs[b].commit(data);
+      stats.committed += ranges[b].size();
+    }
+    if (fail_block == blocks) {
+      start = n;
+    } else {
+      for (unsigned b = fail_block; b < blocks; ++b)
+        stats.reexecuted += ranges[b].size();
+      start = ranges[fail_block].begin;
+    }
+  }
+  return stats;
+}
+
+}  // namespace sapp

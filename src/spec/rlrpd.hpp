@@ -1,0 +1,70 @@
+// The Recursive LRPD test (§3, ref [5]) — speculative execution of
+// *partially parallel* loops.
+//
+// "in any block-scheduled loop executed under the processor-wise LRPD test
+//  with copy-in, the chunks of iterations that are less than or equal to
+//  the source of the first detected dependence arc are always executed
+//  correctly. Only the processors executing iterations larger or equal to
+//  the earliest sink of any dependence arc need to re-execute their portion
+//  of work. Thus only the remainder of the work needs to be re-executed."
+//
+// `rlrpd_execute` runs a loop with real values: each round block-schedules
+// the remaining iterations over the pool, executes them speculatively
+// against the committed array state with copy-in privatization and
+// reduction recognition, validates cross-block flow dependences, commits
+// the correct prefix of blocks, and recurses on the rest.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+
+namespace sapp {
+
+/// Array access interface handed to a speculative loop body. The
+/// implementation differs between sequential execution (direct) and
+/// speculative execution (private copy-in buffers + dependence logging),
+/// but the body code is identical — this is the multi-version code shape
+/// the paper's compiler emits.
+class SpecArray {
+ public:
+  virtual ~SpecArray() = default;
+  [[nodiscard]] virtual double read(std::uint32_t e) = 0;
+  virtual void write(std::uint32_t e, double v) = 0;
+  /// Reduction update `data[e] += v` (recognized, so cross-block conflicts
+  /// on reduction-only elements do not force re-execution).
+  virtual void reduce_add(std::uint32_t e, double v) = 0;
+};
+
+/// Loop body: executes iteration `iter` against `arr`.
+using SpecLoopBody = std::function<void(std::size_t iter, SpecArray& arr)>;
+
+/// Execution statistics of one rlrpd_execute call.
+struct RlrpdStats {
+  unsigned rounds = 0;              ///< speculation rounds (1 = fully parallel)
+  std::size_t committed = 0;        ///< iterations committed (== n on success)
+  std::size_t reexecuted = 0;       ///< speculative iterations thrown away
+  bool success = true;              ///< false only if max_rounds was hit
+};
+
+struct RlrpdConfig {
+  unsigned max_rounds = 0;  ///< 0 = unlimited (termination is guaranteed)
+};
+
+/// Execute `body` for iterations [0, n) against `data` with R-LRPD
+/// speculation on `pool`. On return `data` holds the same values sequential
+/// execution would produce (up to reassociation of reduce_add).
+RlrpdStats rlrpd_execute(std::size_t n, const SpecLoopBody& body,
+                         std::span<double> data, ThreadPool& pool,
+                         const RlrpdConfig& cfg = {});
+
+/// Sequential reference executor for the same body abstraction.
+void sequential_execute(std::size_t n, const SpecLoopBody& body,
+                        std::span<double> data);
+
+}  // namespace sapp

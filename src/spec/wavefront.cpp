@@ -1,0 +1,85 @@
+#include "spec/wavefront.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace sapp {
+
+Wavefronts compute_wavefronts(const SpeculativeLoop& loop) {
+  const std::size_t n = loop.iterations.size();
+  const std::size_t dim = loop.dim;
+  constexpr std::uint32_t kNone = 0xFFFFFFFFu;
+
+  Wavefronts w;
+  w.level.assign(n, 0);
+
+  // Per element: level of the last iteration that wrote it, the deepest
+  // level among readers since that write, and the deepest level among
+  // pending reduction updates (commutative among themselves).
+  std::vector<std::uint32_t> writer_level(dim, kNone);
+  std::vector<std::uint32_t> reader_level(dim, kNone);
+  std::vector<std::uint32_t> red_level(dim, kNone);
+
+  auto bump = [](std::uint32_t& slot, std::uint32_t lvl) {
+    if (slot == kNone || lvl > slot) slot = lvl;
+  };
+
+  std::uint32_t max_level = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    // Pass 1: the level this iteration must run at.
+    std::uint32_t lvl = 0;
+    for (const auto& [e, kind] : loop.iterations[i].ops) {
+      SAPP_ASSERT(e < dim, "element out of range");
+      switch (kind) {
+        case Access::kRead:  // flow dep on last writer and pending reductions
+          if (writer_level[e] != kNone) lvl = std::max(lvl, writer_level[e] + 1);
+          if (red_level[e] != kNone) lvl = std::max(lvl, red_level[e] + 1);
+          break;
+        case Access::kWrite:  // output dep on writer, anti on readers/reds
+          if (writer_level[e] != kNone) lvl = std::max(lvl, writer_level[e] + 1);
+          if (reader_level[e] != kNone) lvl = std::max(lvl, reader_level[e] + 1);
+          if (red_level[e] != kNone) lvl = std::max(lvl, red_level[e] + 1);
+          break;
+        case Access::kReduction:  // ordered against plain accesses only
+          if (writer_level[e] != kNone) lvl = std::max(lvl, writer_level[e] + 1);
+          if (reader_level[e] != kNone) lvl = std::max(lvl, reader_level[e] + 1);
+          break;
+      }
+    }
+    w.level[i] = lvl;
+    max_level = std::max(max_level, lvl);
+    // Pass 2: update the element state with this iteration's accesses.
+    for (const auto& [e, kind] : loop.iterations[i].ops) {
+      switch (kind) {
+        case Access::kRead:
+          bump(reader_level[e], lvl);
+          break;
+        case Access::kWrite:
+          writer_level[e] = lvl;
+          reader_level[e] = kNone;
+          red_level[e] = kNone;
+          break;
+        case Access::kReduction:
+          bump(red_level[e], lvl);
+          break;
+      }
+    }
+  }
+
+  w.fronts.assign(n == 0 ? 0 : max_level + 1, {});
+  for (std::size_t i = 0; i < n; ++i)
+    w.fronts[w.level[i]].push_back(static_cast<std::uint32_t>(i));
+  return w;
+}
+
+void execute_wavefronts(const Wavefronts& w, ThreadPool& pool,
+                        const std::function<void(std::size_t)>& body) {
+  for (const auto& front : w.fronts) {
+    pool.parallel_for(front.size(), [&](unsigned, Range rg) {
+      for (std::size_t k = rg.begin; k < rg.end; ++k) body(front[k]);
+    });
+  }
+}
+
+}  // namespace sapp

@@ -1,0 +1,47 @@
+// Inspector/executor wavefront parallelization (§3, ref [15]).
+//
+// For loops whose iterations have cross-iteration dependences, the
+// inspector computes "wavefronts (sequences of mutually independent sets of
+// iterations that can be executed in parallel)": iteration i's level is one
+// more than the deepest level among the iterations it depends on (flow,
+// anti and output dependences through the array under test). The executor
+// then runs the levels in order, with all iterations of a level in
+// parallel.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "spec/lrpd.hpp"
+
+namespace sapp {
+
+/// Output of the wavefront inspector.
+struct Wavefronts {
+  /// level[i] = wavefront index of iteration i (0-based).
+  std::vector<std::uint32_t> level;
+  /// wavefront[l] = iterations in level l, in increasing order.
+  std::vector<std::vector<std::uint32_t>> fronts;
+
+  [[nodiscard]] std::size_t num_levels() const { return fronts.size(); }
+  /// Average parallelism = iterations / levels.
+  [[nodiscard]] double parallelism() const {
+    return fronts.empty() ? 0.0
+                          : static_cast<double>(level.size()) /
+                                static_cast<double>(fronts.size());
+  }
+};
+
+/// Sequential inspector over the access traces (O(total accesses)).
+/// Reduction accesses are treated as commutative with each other but
+/// ordered against plain reads/writes.
+[[nodiscard]] Wavefronts compute_wavefronts(const SpeculativeLoop& loop);
+
+/// Run `body(iter)` for every iteration, level by level; iterations within
+/// one level execute concurrently on `pool`.
+void execute_wavefronts(const Wavefronts& w, ThreadPool& pool,
+                        const std::function<void(std::size_t)>& body);
+
+}  // namespace sapp

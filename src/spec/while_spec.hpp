@@ -1,0 +1,116 @@
+// Speculative WHILE-loop parallelization (§3, ref [18]).
+//
+// "a technique for parallelizing while loops (do loops with an unknown
+//  number of iterations and/or containing linked list traversals)".
+//
+// The traversal that discovers iteration states (e.g. walking a linked
+// list) is inherently sequential but cheap; the per-iteration processing is
+// expensive. The executor speculatively collects a batch of states by
+// advancing the traversal past the point where the continuation condition
+// might fail, processes the batch in parallel, and discards the
+// speculatively processed iterations that turn out to lie beyond the loop
+// exit.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+
+namespace sapp {
+
+/// Statistics of one speculative while-loop execution.
+struct WhileSpecStats {
+  std::size_t iterations = 0;  ///< genuine iterations processed
+  std::size_t discarded = 0;   ///< speculative overrun thrown away
+  unsigned batches = 0;
+};
+
+/// Speculatively parallel while-loop over states of type S.
+///
+///   S state = init;
+///   while (cond(state)) { process(state); state = advance(state); }
+///
+/// `process` must be safe to call on states past the exit point (its result
+/// is discarded) and must not mutate shared data that `cond`/`advance`
+/// read — the usual legality condition for while-loop speculation.
+template <typename S>
+WhileSpecStats while_spec_execute(S init,
+                                  const std::function<bool(const S&)>& cond,
+                                  const std::function<S(const S&)>& advance,
+                                  const std::function<void(const S&)>& process,
+                                  std::size_t batch, ThreadPool& pool) {
+  WhileSpecStats st;
+  std::vector<S> states;
+  states.reserve(batch);
+  S cur = init;
+  bool done = false;
+  while (!done) {
+    // Sequential, cheap: collect up to `batch` states speculatively,
+    // evaluating the condition as we go.
+    states.clear();
+    while (states.size() < batch) {
+      if (!cond(cur)) {
+        done = true;
+        break;
+      }
+      states.push_back(cur);
+      cur = advance(cur);
+    }
+    if (states.empty()) break;
+    ++st.batches;
+    // Parallel, expensive: process the batch. If the exit was found inside
+    // the batch we already trimmed it above, so nothing here is wasted; the
+    // speculation cost shows up when `process` runs ahead of a condition
+    // that depends on processing (handled by the caller choosing `cond`
+    // conservatively). We still account for the last partial batch.
+    pool.parallel_for(states.size(), [&](unsigned, Range rg) {
+      for (std::size_t k = rg.begin; k < rg.end; ++k) process(states[k]);
+    });
+    st.iterations += states.size();
+  }
+  return st;
+}
+
+/// Variant where the continuation condition depends on processing results:
+/// `process` returns false when the loop should stop. The batch is
+/// processed in parallel; iterations after the first returning false are
+/// speculative overrun and are counted as discarded (their side effects
+/// must be confined to per-iteration state — the caller's legality
+/// obligation).
+template <typename S>
+WhileSpecStats while_spec_execute_datadep(
+    S init, const std::function<S(const S&)>& advance,
+    const std::function<bool(const S&)>& process, std::size_t batch,
+    ThreadPool& pool) {
+  WhileSpecStats st;
+  std::vector<S> states;
+  std::vector<std::uint8_t> keep;
+  S cur = init;
+  for (;;) {
+    states.clear();
+    for (std::size_t k = 0; k < batch; ++k) {
+      states.push_back(cur);
+      cur = advance(cur);
+    }
+    keep.assign(states.size(), 1);
+    ++st.batches;
+    pool.parallel_for(states.size(), [&](unsigned, Range rg) {
+      for (std::size_t k = rg.begin; k < rg.end; ++k)
+        keep[k] = process(states[k]) ? 1 : 0;
+    });
+    // First failing iteration ends the loop; everything after it in the
+    // batch was wasted speculation.
+    for (std::size_t k = 0; k < keep.size(); ++k) {
+      if (!keep[k]) {
+        st.iterations += k + 1;
+        st.discarded += keep.size() - k - 1;
+        return st;
+      }
+    }
+    st.iterations += states.size();
+  }
+}
+
+}  // namespace sapp

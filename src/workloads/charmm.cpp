@@ -1,0 +1,97 @@
+// CHARMM — macromolecular dynamics, loop dynamc/do78 (Fig. 3, Table 2).
+//
+// Bonded/nonbonded interaction lists over a large coordinate array
+// (Table 2: 1947 KB reduction array, 420 instructions and 54 reduction ops
+// per iteration in the hardware study). MO = 2 in the software study.
+// Interactions are list-ordered, not mesh-ordered, and the molecule spans
+// the whole array, so the touched set is large and highly shared — the
+// regime where ll's lazy initialization beats both rep (full-array sweeps)
+// and sel (whose shared set approaches the full touched set).
+#include "common/assert.hpp"
+#include "workloads/workload.hpp"
+
+namespace sapp::workloads {
+
+Workload make_charmm(std::size_t dim, std::size_t distinct,
+                     std::size_t interactions, std::uint64_t seed) {
+  SynthParams p;
+  p.dim = dim;
+  p.distinct = distinct;
+  p.iterations = interactions;
+  p.refs_per_iter = 2;     // MO = 2 (Fig. 3)
+  p.zipf_theta = 0.35;     // mild skew: backbone atoms recur
+  p.locality = 0.25;       // interaction partners scattered over the molecule
+  p.window = 64;
+  p.sort_iterations = false;  // interaction lists are not spatially sorted
+  p.body_flops = 56;       // 420 instructions/iteration scaled
+  p.lw_legal = true;
+  p.seed = seed;
+
+  Workload w;
+  w.app = "Charmm";
+  w.loop = "do78";
+  w.variant = "dim=" + std::to_string(dim);
+  w.input = make_synthetic(p);
+  w.instr_per_iter = 420;
+  return w;
+}
+
+// Hardware-study sizing (Table 2: loop dynamc, 82944 iterations, 420
+// instructions and 54 reduction ops per iteration, 1947 KB array = 249216
+// doubles, 1 invocation). Each iteration updates the 3 coordinates of 18
+// atoms: its own atom group plus list neighbours.
+Workload make_charmm_hw(double scale, std::uint64_t seed) {
+  SAPP_REQUIRE(scale > 0.0 && scale <= 1.0, "scale in (0,1]");
+  Rng rng(seed);
+  constexpr unsigned kDof = 3;
+  const auto atoms = static_cast<std::size_t>(83072 * scale);
+  const std::size_t dim = atoms * kDof;
+  const auto iters = static_cast<std::size_t>(82944 * scale);
+
+  std::vector<std::uint64_t> row_ptr{0};
+  std::vector<std::uint32_t> idx;
+  row_ptr.reserve(iters + 1);
+  idx.reserve(iters * 54);
+  for (std::size_t i = 0; i < iters; ++i) {
+    const std::size_t self = (i * atoms) / iters;
+    // 6 atoms of the local group (bonded terms)...
+    for (unsigned a = 0; a < 6; ++a) {
+      std::size_t at = self + a;
+      if (at >= atoms) at = atoms - 1;
+      for (unsigned c = 0; c < kDof; ++c)
+        idx.push_back(static_cast<std::uint32_t>(at * kDof + c));
+    }
+    // ...plus 12 list neighbours: mostly within the molecule's spatial
+    // neighbourhood, a few long-range electrostatic partners.
+    constexpr std::size_t kNeighborhood = 3000;
+    for (unsigned a = 0; a < 12; ++a) {
+      std::size_t at;
+      if (rng.uniform() < 0.85) {
+        const std::size_t off = rng.below(2 * kNeighborhood);
+        at = (self + atoms + off - kNeighborhood) % atoms;
+      } else {
+        at = rng.below(atoms);
+      }
+      for (unsigned c = 0; c < kDof; ++c)
+        idx.push_back(static_cast<std::uint32_t>(at * kDof + c));
+    }
+    row_ptr.push_back(idx.size());
+  }
+
+  Workload w;
+  w.app = "Charmm";
+  w.loop = "dynamc";
+  w.variant = "scale=" + std::to_string(scale);
+  w.input.pattern.dim = dim;
+  w.input.pattern.refs = Csr(std::move(row_ptr), std::move(idx));
+  w.input.pattern.body_flops = 32;
+  w.input.pattern.iteration_replication_legal = true;
+  w.input.values.resize(w.input.pattern.num_refs());
+  for (auto& v : w.input.values) v = rng.uniform(-1.0, 1.0);
+  w.instr_per_iter = 420;
+  w.invocations = 1;
+  w.input_bytes_per_iter = 48;  // 12 neighbour ids
+  return w;
+}
+
+}  // namespace sapp::workloads

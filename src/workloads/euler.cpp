@@ -1,0 +1,58 @@
+// EULER — HPF-2 unstructured-mesh Euler solver, loop dflux do100
+// (Table 2: 59863 iterations/invocation, 118 instructions and 14 reduction
+// operations per iteration, 686.6 KB reduction array, 120 invocations).
+//
+// Each iteration is one mesh edge; it accumulates a 7-component flux into
+// the state records of both endpoint nodes (2 × 7 = 14 reduction ops).
+// Node records are contiguous 7-double blocks — the layout the paper's
+// PCLR section assumes when it requires reduction data to be cache-line
+// aligned and unshared with regular data.
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "workloads/workload.hpp"
+
+namespace sapp::workloads {
+
+Workload make_euler(double scale, std::uint64_t seed) {
+  SAPP_REQUIRE(scale > 0.0 && scale <= 1.0, "scale in (0,1]");
+  Rng rng(seed);
+  constexpr unsigned kComp = 7;  // state components per node
+  const auto edges = static_cast<std::size_t>(59863 * scale);
+  const auto nodes = static_cast<std::size_t>(12555 * scale);
+  const std::size_t dim = nodes * kComp;  // 87885 doubles ~ 686.6 KB at scale 1
+
+  // Mesh connectivity: nodes laid out along a space-filling order, each
+  // edge joins a node to a near neighbour (renumbered tetra mesh).
+  std::vector<std::uint64_t> row_ptr{0};
+  std::vector<std::uint32_t> idx;
+  row_ptr.reserve(edges + 1);
+  idx.reserve(edges * 2 * kComp);
+  for (std::size_t k = 0; k < edges; ++k) {
+    const std::size_t u = (k * nodes) / edges;  // sweep nodes in order
+    std::size_t v = u + 1 + rng.below(12);
+    if (v >= nodes) v = u >= 12 ? u - 12 : 0;
+    for (unsigned c = 0; c < kComp; ++c)
+      idx.push_back(static_cast<std::uint32_t>(u * kComp + c));
+    for (unsigned c = 0; c < kComp; ++c)
+      idx.push_back(static_cast<std::uint32_t>(v * kComp + c));
+    row_ptr.push_back(idx.size());
+  }
+
+  Workload w;
+  w.app = "Euler";
+  w.loop = "dflux_do100";
+  w.variant = "scale=" + std::to_string(scale);
+  w.input.pattern.dim = dim;
+  w.input.pattern.refs = Csr(std::move(row_ptr), std::move(idx));
+  w.input.pattern.body_flops = 16;
+  w.input.pattern.iteration_replication_legal = true;
+  w.input.values.resize(w.input.pattern.num_refs());
+  for (auto& v : w.input.values) v = rng.uniform(-1.0, 1.0);
+  w.instr_per_iter = 118;
+  w.input_bytes_per_iter = 8;  // two node ids per edge
+  w.invocations = 120;
+  return w;
+}
+
+}  // namespace sapp::workloads

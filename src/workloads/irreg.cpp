@@ -1,0 +1,80 @@
+// IRREG — CFD-style kernel: flux accumulation over the edges of an
+// irregular 2-D mesh (HPF-2 motivated kernel, Fig. 3 "Irreg - DO 100").
+//
+// Construction: `distinct` active nodes form a jittered 2-D grid embedded
+// in an array of `dim` elements (the array is larger than the active mesh
+// when the input only populates part of the domain — this is how the
+// paper's sweep grows DIM while SP falls). Edges connect grid neighbours;
+// the edge list is swept repeatedly until the requested edge/iteration
+// count is reached, exactly like a solver doing many relaxation sweeps.
+// Mesh-renumbered: edges sorted by their lower endpoint.
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "workloads/workload.hpp"
+
+namespace sapp::workloads {
+
+Workload make_irreg(std::size_t dim, std::size_t distinct, std::size_t edges,
+                    std::uint64_t seed) {
+  SAPP_REQUIRE(distinct >= 4 && distinct <= dim, "bad irreg sizing");
+  Rng rng(seed);
+
+  // Active nodes: jittered grid spread over [0, dim).
+  const auto side = static_cast<std::size_t>(std::sqrt(
+      static_cast<double>(distinct)));
+  const std::size_t nodes = side * side;
+  std::vector<std::uint32_t> node_elem(nodes);
+  const double stride = static_cast<double>(dim) / static_cast<double>(nodes);
+  for (std::size_t k = 0; k < nodes; ++k) {
+    auto e = static_cast<std::uint64_t>(
+        static_cast<double>(k) * stride + rng.uniform() * stride * 0.5);
+    node_elem[k] = static_cast<std::uint32_t>(e >= dim ? dim - 1 : e);
+  }
+
+  // Mesh edges: 4-neighbour grid connectivity.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> mesh;
+  mesh.reserve(2 * nodes);
+  for (std::size_t y = 0; y < side; ++y)
+    for (std::size_t x = 0; x < side; ++x) {
+      const std::size_t u = y * side + x;
+      if (x + 1 < side)
+        mesh.emplace_back(static_cast<std::uint32_t>(u),
+                          static_cast<std::uint32_t>(u + 1));
+      if (y + 1 < side)
+        mesh.emplace_back(static_cast<std::uint32_t>(u),
+                          static_cast<std::uint32_t>(u + side));
+    }
+
+  // Sweep the edge list until `edges` iterations are produced.
+  std::vector<std::uint64_t> row_ptr{0};
+  std::vector<std::uint32_t> idx;
+  row_ptr.reserve(edges + 1);
+  idx.reserve(2 * edges);
+  std::size_t produced = 0;
+  while (produced < edges) {
+    for (const auto& [u, v] : mesh) {
+      if (produced >= edges) break;
+      idx.push_back(node_elem[u]);
+      idx.push_back(node_elem[v]);
+      row_ptr.push_back(idx.size());
+      ++produced;
+    }
+  }
+
+  Workload w;
+  w.app = "Irreg";
+  w.loop = "do100";
+  w.variant = "dim=" + std::to_string(dim);
+  w.input.pattern.dim = dim;
+  w.input.pattern.refs = Csr(std::move(row_ptr), std::move(idx));
+  w.input.pattern.body_flops = 8;  // flux evaluation per edge
+  w.input.pattern.iteration_replication_legal = true;
+  w.input.values.resize(w.input.pattern.num_refs());
+  for (auto& v : w.input.values) v = rng.uniform(-1.0, 1.0);
+  w.instr_per_iter = 40;
+  return w;
+}
+
+}  // namespace sapp::workloads

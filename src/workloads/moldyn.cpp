@@ -1,0 +1,71 @@
+// MOLDYN — molecular-dynamics ComputeForces loop (Fig. 3).
+//
+// Neighbour-pair force accumulation (MO = 2). Unlike Irreg, the particle
+// order has been randomized by motion (no mesh renumbering), so iteration
+// blocks touch elements all over the array: the touched set is shared
+// across threads. That high shared fraction is what moves the winner from
+// rep (small arrays, cheap replication) to ll (large arrays) in the
+// paper's sweep — selective privatization degenerates when nearly every
+// touched element is shared.
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "workloads/workload.hpp"
+
+namespace sapp::workloads {
+
+Workload make_moldyn(std::size_t dim, std::size_t distinct,
+                     std::size_t pairs, std::uint64_t seed) {
+  SAPP_REQUIRE(distinct >= 8 && distinct <= dim, "bad moldyn sizing");
+  Rng rng(seed);
+
+  // Particles occupy a jittered fraction of the array index space.
+  std::vector<std::uint32_t> particle(distinct);
+  const double stride =
+      static_cast<double>(dim) / static_cast<double>(distinct);
+  for (std::size_t k = 0; k < distinct; ++k) {
+    auto e = static_cast<std::uint64_t>(
+        static_cast<double>(k) * stride + rng.uniform() * stride * 0.5);
+    particle[k] = static_cast<std::uint32_t>(e >= dim ? dim - 1 : e);
+  }
+
+  // Neighbour list: each pair joins a particle with one of its spatial
+  // neighbours (small rank distance ~ within the cutoff radius), but the
+  // *pair list order is scrambled* — particles moved since the list was
+  // built, which is precisely the dynamic behaviour §4 discusses.
+  std::vector<std::uint64_t> row_ptr{0};
+  std::vector<std::uint32_t> idx;
+  row_ptr.reserve(pairs + 1);
+  idx.reserve(2 * pairs);
+  // Partners are within the *spatial* cutoff, but array indices have
+  // decorrelated since the particles moved: the partner's rank distance
+  // spreads over a wide window. This is what makes iteration replication
+  // (lw) expensive here — pair endpoints often live in different owners'
+  // partitions.
+  constexpr std::size_t kRankWindow = 400;
+  for (std::size_t k = 0; k < pairs; ++k) {
+    const std::size_t a = rng.below(distinct);
+    std::size_t b =
+        (a + distinct + rng.below(2 * kRankWindow) - kRankWindow) % distinct;
+    if (b == a) b = (a + 1) % distinct;
+    idx.push_back(particle[a]);
+    idx.push_back(particle[b]);
+    row_ptr.push_back(idx.size());
+  }
+
+  Workload w;
+  w.app = "Moldyn";
+  w.loop = "ComputeForces";
+  w.variant = "dim=" + std::to_string(dim);
+  w.input.pattern.dim = dim;
+  w.input.pattern.refs = Csr(std::move(row_ptr), std::move(idx));
+  w.input.pattern.body_flops = 40;  // LJ force evaluation (r^-12 terms)
+  w.input.pattern.iteration_replication_legal = true;
+  w.input.values.resize(w.input.pattern.num_refs());
+  for (auto& v : w.input.values) v = rng.uniform(-1.0, 1.0);
+  w.instr_per_iter = 60;
+  return w;
+}
+
+}  // namespace sapp::workloads

@@ -1,0 +1,152 @@
+#include "workloads/paramsets.hpp"
+
+#include "common/assert.hpp"
+
+namespace sapp::workloads {
+
+namespace {
+
+std::size_t scaled(std::size_t n, double scale) {
+  auto v = static_cast<std::size_t>(static_cast<double>(n) * scale);
+  return v > 0 ? v : 1;
+}
+
+Fig3Row row(Workload w, PaperRow paper, double mo, double dim, double sp,
+            double con, double chr) {
+  Fig3Row r;
+  w.paper = std::move(paper);
+  r.workload = std::move(w);
+  r.paper_mo = mo;
+  r.paper_dim = dim;
+  r.paper_sp = sp;
+  r.paper_con = con;
+  r.paper_chr = chr;
+  return r;
+}
+
+}  // namespace
+
+std::vector<Fig3Row> fig3_rows(double scale, std::uint64_t seed) {
+  SAPP_REQUIRE(scale > 0.0 && scale <= 1.0, "scale in (0,1]");
+  std::vector<Fig3Row> rows;
+
+  // ---- Irreg - DO 100 (MO=2): dimension sweep from dense reuse to very
+  // sparse touch. Paper: rep, lw, lw, sel.
+  rows.push_back(row(
+      make_irreg(100000, 25000, scaled(1250000, scale), seed + 1),
+      {"rep", "rep>=ll>=sel>=lw"}, 2, 100000, 25, 100, 0.92));
+  rows.push_back(row(
+      make_irreg(500000, 25000, scaled(250000, scale), seed + 2),
+      {"lw", "lw>=rep>=ll>=sel"}, 2, 500000, 5, 20, 0.71));
+  rows.push_back(row(
+      make_irreg(1000000, 12500, scaled(62500, scale), seed + 3),
+      {"lw", "lw>=rep>=ll>=sel"}, 2, 1000000, 1.25, 5, 0.40));
+  rows.push_back(row(
+      make_irreg(2000000, 5000, scaled(20000, scale), seed + 4),
+      {"sel", "sel>=lw>=ll>=rep"}, 2, 2000000, 0.25, 1, 0.26));
+
+  // ---- Nbf - DO 50 (MO=1): skewed single-target accumulation.
+  // Paper: ll (measured sel), sel, sel, sel.
+  rows.push_back(row(
+      make_nbf(25600, 6400, scaled(1280000, scale), seed + 5),
+      {"ll", "sel>=ll>=rep>=lw"}, 1, 25600, 25, 200, 0.25));
+  rows.push_back(row(
+      make_nbf(128000, 8000, scaled(400000, scale), seed + 6),
+      {"sel", "sel>=ll>=rep>=lw"}, 1, 128000, 6.25, 50, 0.25));
+  rows.push_back(row(
+      make_nbf(256000, 1600, scaled(32000, scale), seed + 7),
+      {"sel", "sel>=ll>=rep>=lw"}, 1, 256000, 0.625, 5, 0.25));
+  rows.push_back(row(
+      make_nbf(1280000, 3200, scaled(25600, scale), seed + 8),
+      {"sel", "sel>=ll>=rep>=lw"}, 1, 1280000, 0.25, 2, 0.25));
+
+  // ---- Moldyn - ComputeForces (MO=2): scrambled pair lists, high
+  // sharing. Paper: rep, rep, ll, ll.
+  rows.push_back(row(
+      make_moldyn(16384, 3922, scaled(375000, scale), seed + 9),
+      {"rep", "rep>=ll>=sel>=lw"}, 2, 16384, 23.94, 95.75, 0.41));
+  rows.push_back(row(
+      make_moldyn(42592, 3301, scaled(102000, scale), seed + 10),
+      {"rep", "rep>=ll>=sel>=lw"}, 2, 42592, 7.75, 31, 0.36));
+  rows.push_back(row(
+      make_moldyn(70304, 1188, scaled(24000, scale), seed + 11),
+      {"ll", "ll>=rep>=sel>=lw"}, 2, 70304, 1.69, 6.75, 0.33));
+  rows.push_back(row(
+      make_moldyn(87808, 329, scaled(8000, scale), seed + 12),
+      {"ll", "ll>=rep>=sel>=lw"}, 2, 87808, 0.375, 1.5, 0.29));
+
+  // ---- Spark98 - smvpthread (MO=1): banded smvp, tiny shared set.
+  // Paper: sel, sel (measured ll first on the small mesh).
+  rows.push_back(row(
+      make_spark98(30169, 18000, scaled(210000, scale), seed + 13),
+      {"sel", "sel>=ll>=rep>=lw"}, 1, 30169, 0.625, 5, 0.18));
+  rows.push_back(row(
+      make_spark98(7294, 4400, scaled(51000, scale), seed + 14),
+      {"sel", "ll>=sel>=rep>=lw"}, 1, 7294, 0.6, 4.8, 0.2));
+
+  // ---- Charmm - DO 78 (MO=2): large arrays, scattered interaction lists.
+  // Paper recommends sel; measurements put ll first.
+  rows.push_back(row(
+      make_charmm(332288, 119000, scaled(1000000, scale), seed + 15),
+      {"sel", "ll>=sel>=rep>=lw"}, 2, 332288, 35.88, 17.9, 0.14));
+  rows.push_back(row(
+      make_charmm(332288, 59600, scaled(500000, scale), seed + 16),
+      {"sel", "ll>=sel>=rep>=lw"}, 2, 332288, 17.94, 8.97, 0.15));
+  rows.push_back(row(
+      make_charmm(664576, 7443, scaled(33000, scale), seed + 17),
+      {"sel", "ll>=sel>=rep>=lw"}, 2, 664576, 1.12, 4.48, 0.13));
+
+  // ---- Spice - bjt100 (MO=28): very sparse device stamps, lw illegal.
+  // Paper: hash everywhere.
+  rows.push_back(row(make_spice(186943, scaled(500, scale), seed + 18),
+                     {"hash", "hash>=ll>=rep"}, 28, 186943, 0.14, 0.04,
+                     0.125));
+  rows.push_back(row(make_spice(99190, scaled(300, scale), seed + 19),
+                     {"hash", "hash>=ll>=rep"}, 28, 99190, 0.20, 0.06,
+                     0.125));
+  rows.push_back(row(make_spice(89925, scaled(280, scale), seed + 20),
+                     {"hash", "hash>=ll>=rep"}, 28, 89925, 0.16, 0.05,
+                     0.125));
+  rows.push_back(row(make_spice(33725, scaled(110, scale), seed + 21),
+                     {"hash", "hash>=ll>=rep"}, 28, 33725, 0.16, 0.05,
+                     0.126));
+  return rows;
+}
+
+std::vector<Table2Row> table2_rows(double scale, std::uint64_t seed) {
+  SAPP_REQUIRE(scale > 0.0 && scale <= 1.0, "scale in (0,1]");
+  std::vector<Table2Row> rows;
+
+  auto add = [&](Workload w, double tseq, unsigned inv, unsigned iters,
+                 unsigned instr, unsigned red, double kb, unsigned flushed,
+                 unsigned displaced, double sw, double hw, double flex) {
+    Table2Row r;
+    r.workload = std::move(w);
+    r.paper_tseq_pct = tseq;
+    r.paper_invocations = inv;
+    r.paper_iters = iters;
+    r.paper_instr_per_iter = instr;
+    r.paper_red_per_iter = red;
+    r.paper_array_kb = kb;
+    r.paper_lines_flushed = flushed;
+    r.paper_lines_displaced = displaced;
+    r.paper_speedup_sw = sw;
+    r.paper_speedup_hw = hw;
+    r.paper_speedup_flex = flex;
+    rows.push_back(std::move(r));
+  };
+
+  add(make_euler(scale, seed + 101), 84.7, 120, 59863, 118, 14, 686.6, 3261,
+      2117, 1.3, 4.0, 3.5);
+  add(make_equake(scale, seed + 102), 50.0, 3855, 30169, 550, 22, 707.1, 742,
+      580, 7.3, 14.0, 10.6);
+  add(make_vml(scale, seed + 103), 89.4, 1, 4929, 135, 6, 40.0, 168, 0, 3.1,
+      6.1, 5.0);
+  add(make_charmm_hw(scale, seed + 104), 82.8, 1, 82944, 420, 54, 1947.0,
+      1849, 330, 1.9, 9.9, 7.7);
+  add(make_nbf_hw(scale, seed + 105), 99.1, 1, 128000, 1880, 200, 1000.0,
+      238, 1774, 9.1, 15.6, 14.2);
+  return rows;
+}
+
+}  // namespace sapp::workloads

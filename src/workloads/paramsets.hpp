@@ -1,0 +1,55 @@
+// Official parameter sets: one entry per row of Fig. 3 and Table 2.
+//
+// Each entry carries the generated workload plus everything the paper
+// reports for that row, so the benchmark harnesses can print measured and
+// published values side by side (EXPERIMENTS.md discusses the deltas).
+#pragma once
+
+#include <vector>
+
+#include "workloads/workload.hpp"
+
+namespace sapp::workloads {
+
+/// One row of the Fig. 3 validation table.
+struct Fig3Row {
+  Workload workload;
+  /// Paper-reported measures for the row (as printed; definitions in the
+  /// paper are partly ambiguous — see EXPERIMENTS.md).
+  double paper_mo = 0.0;
+  double paper_dim = 0.0;  ///< the INPUT column (reduction elements)
+  double paper_sp = 0.0;
+  double paper_con = 0.0;
+  double paper_chr = 0.0;
+};
+
+/// All 21 Fig. 3 rows (Irreg 4, Nbf 4, Moldyn 4, Spark98 2, Charmm 3,
+/// Spice 4). `scale` multiplies iteration counts (1.0 = paper regime;
+/// smaller for quick runs). Dimensions are never scaled — they are the
+/// quantity the paper sweeps.
+[[nodiscard]] std::vector<Fig3Row> fig3_rows(double scale = 1.0,
+                                             std::uint64_t seed = 2002);
+
+/// One row of Table 2 (hardware study).
+struct Table2Row {
+  Workload workload;
+  // Paper-reported values.
+  double paper_tseq_pct = 0.0;
+  unsigned paper_invocations = 0;
+  unsigned paper_iters = 0;
+  unsigned paper_instr_per_iter = 0;
+  unsigned paper_red_per_iter = 0;
+  double paper_array_kb = 0.0;
+  unsigned paper_lines_flushed = 0;
+  unsigned paper_lines_displaced = 0;
+  // Paper Fig. 6 speedups (16 processors) for Sw/Hw/Flex.
+  double paper_speedup_sw = 0.0;
+  double paper_speedup_hw = 0.0;
+  double paper_speedup_flex = 0.0;
+};
+
+/// The five Table 2 codes at `scale` (1.0 = paper sizing).
+[[nodiscard]] std::vector<Table2Row> table2_rows(double scale = 1.0,
+                                                 std::uint64_t seed = 2002);
+
+}  // namespace sapp::workloads

@@ -1,0 +1,67 @@
+// SPARK98 — earthquake-simulation sparse matrix-vector product
+// (Fig. 3 "smvpthread() loop").
+//
+// Banded symmetric sparse matrix from a tetrahedral mesh: row i accumulates
+// contributions into w[i] (MO = 1), rows processed in order. Under block
+// scheduling almost every row's target is exclusive to one thread; only the
+// band overlap at block boundaries is shared — the selective-privatization
+// sweet spot the paper's recommendation reflects.
+#include "common/assert.hpp"
+#include "workloads/workload.hpp"
+
+namespace sapp::workloads {
+
+Workload make_spark98(std::size_t dim, std::size_t distinct, std::size_t nnz,
+                      std::uint64_t seed) {
+  SAPP_REQUIRE(distinct >= 8 && distinct <= dim, "bad spark98 sizing");
+  Rng rng(seed);
+
+  // Active rows spread over the array.
+  std::vector<std::uint32_t> row_elem(distinct);
+  const double stride =
+      static_cast<double>(dim) / static_cast<double>(distinct);
+  for (std::size_t k = 0; k < distinct; ++k) {
+    auto e = static_cast<std::uint64_t>(
+        static_cast<double>(k) * stride + rng.uniform() * stride * 0.5);
+    row_elem[k] = static_cast<std::uint32_t>(e >= dim ? dim - 1 : e);
+  }
+
+  // One iteration per matrix entry: w[row] += A[row,col] * v[col]. The
+  // symmetric part also scatters w[col] += ... for a fraction of entries
+  // (off-band contributions), giving the small shared set.
+  const std::size_t entries = nnz;
+  std::vector<std::uint64_t> row_ptr{0};
+  std::vector<std::uint32_t> idx;
+  row_ptr.reserve(entries + 1);
+  idx.reserve(entries);
+  constexpr std::size_t kBand = 32;
+  for (std::size_t k = 0; k < entries; ++k) {
+    // Rows visited in order; ~entries/distinct entries per row.
+    const std::size_t r = (k * distinct) / entries;
+    // 85% of entries hit the row target, 15% the symmetric partner inside
+    // the band.
+    if (rng.uniform() < 0.85) {
+      idx.push_back(row_elem[r]);
+    } else {
+      std::size_t c = r + 1 + rng.below(kBand);
+      if (c >= distinct) c = r >= kBand ? r - kBand : 0;
+      idx.push_back(row_elem[c]);
+    }
+    row_ptr.push_back(idx.size());
+  }
+
+  Workload w;
+  w.app = "Spark98";
+  w.loop = "smvpthread";
+  w.variant = "dim=" + std::to_string(dim);
+  w.input.pattern.dim = dim;
+  w.input.pattern.refs = Csr(std::move(row_ptr), std::move(idx));
+  w.input.pattern.body_flops = 10;  // multiply-add plus index arithmetic
+  w.input.pattern.iteration_replication_legal = true;
+  w.input.values.resize(w.input.pattern.num_refs());
+  for (auto& v : w.input.values) v = rng.uniform(-1.0, 1.0);
+  w.instr_per_iter = 20;
+  return w;
+}
+
+}  // namespace sapp::workloads

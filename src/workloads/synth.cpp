@@ -1,0 +1,99 @@
+// The synthetic reference-pattern engine shared by all app generators.
+#include "workloads/workload.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/assert.hpp"
+
+namespace sapp::workloads {
+
+ReductionInput make_synthetic(const SynthParams& p) {
+  SAPP_REQUIRE(p.dim > 0, "dim must be positive");
+  SAPP_REQUIRE(p.distinct > 0 && p.distinct <= p.dim,
+               "distinct must be in (0, dim]");
+  SAPP_REQUIRE(p.refs_per_iter >= 1, "need at least one ref per iteration");
+  Rng rng(p.seed);
+
+  // --- Active element set: a random sorted sample of [0, dim), drawn via
+  // a stride-jitter walk so the active elements spread over the whole
+  // array (as a renumbered mesh would) while staying irregular.
+  std::vector<std::uint32_t> active;
+  active.reserve(p.distinct);
+  const double stride =
+      static_cast<double>(p.dim) / static_cast<double>(p.distinct);
+  double pos = rng.uniform() * stride;
+  for (std::size_t k = 0; k < p.distinct; ++k) {
+    auto e = static_cast<std::uint64_t>(pos + rng.uniform() * stride * 0.9);
+    if (e >= p.dim) e = p.dim - 1;
+    active.push_back(static_cast<std::uint32_t>(e));
+    pos += stride;
+  }
+  active.erase(std::unique(active.begin(), active.end()), active.end());
+  const std::size_t nact = active.size();
+
+  // --- Popularity permutation: zipf rank r maps to a random active
+  // element, so hot elements are scattered through the index space.
+  std::vector<std::uint32_t> by_rank(nact);
+  std::iota(by_rank.begin(), by_rank.end(), 0u);
+  for (std::size_t k = nact; k > 1; --k)
+    std::swap(by_rank[k - 1], by_rank[rng.below(k)]);
+
+  // --- Iterations: first reference drawn by popularity; the rest of the
+  // iteration's references stay within `window` active slots with
+  // probability `locality`, else draw independently.
+  struct Iter {
+    std::uint32_t first_slot;
+    std::vector<std::uint32_t> elems;
+  };
+  std::vector<Iter> iters(p.iterations);
+  for (auto& it : iters) {
+    const std::size_t rank0 = rng.zipf(nact, p.zipf_theta);
+    const std::uint32_t slot0 = by_rank[rank0];
+    it.first_slot = slot0;
+    it.elems.push_back(active[slot0]);
+    for (unsigned r = 1; r < p.refs_per_iter; ++r) {
+      std::size_t slot;
+      if (rng.uniform() < p.locality) {
+        const std::size_t w = p.window < nact ? p.window : nact;
+        const std::size_t lo = slot0 >= w / 2 ? slot0 - w / 2 : 0;
+        const std::size_t hi = lo + w < nact ? lo + w : nact;
+        slot = lo + rng.below(hi - lo);
+      } else {
+        slot = by_rank[rng.zipf(nact, p.zipf_theta)];
+      }
+      it.elems.push_back(active[slot]);
+    }
+  }
+
+  // --- Mesh ordering: sort iterations by their first referenced slot so
+  // block scheduling aligns iteration blocks with element regions (what a
+  // locality-optimized code would have).
+  if (p.sort_iterations) {
+    std::stable_sort(iters.begin(), iters.end(),
+                     [](const Iter& a, const Iter& b) {
+                       return a.first_slot < b.first_slot;
+                     });
+  }
+
+  // --- Pack into CSR + values.
+  ReductionInput in;
+  in.pattern.dim = p.dim;
+  in.pattern.body_flops = p.body_flops;
+  in.pattern.iteration_replication_legal = p.lw_legal;
+  std::vector<std::uint64_t> row_ptr;
+  row_ptr.reserve(p.iterations + 1);
+  row_ptr.push_back(0);
+  std::vector<std::uint32_t> idx;
+  idx.reserve(p.iterations * p.refs_per_iter);
+  for (const auto& it : iters) {
+    idx.insert(idx.end(), it.elems.begin(), it.elems.end());
+    row_ptr.push_back(idx.size());
+  }
+  in.pattern.refs = Csr(std::move(row_ptr), std::move(idx));
+  in.values.resize(in.pattern.num_refs());
+  for (auto& v : in.values) v = rng.uniform(-1.0, 1.0);
+  return in;
+}
+
+}  // namespace sapp::workloads

@@ -1,0 +1,115 @@
+// Workload descriptors for the paper's applications.
+//
+// The paper evaluates on real FORTRAN/C codes (Irreg, Nbf, Moldyn, Spark98,
+// Charmm, Spice for the software study; Euler, Equake, Vml, Charmm, Nbf for
+// the hardware study). We cannot ship those inputs, so each application is
+// reproduced as a *generator* that builds a reduction loop whose reference
+// pattern matches the published statistics (MO/DIM/SP/CON plus iteration,
+// instruction and reduction-op counts). DESIGN.md §2 documents this
+// substitution; tests in tests/workloads_test.cpp assert the generated
+// stats land in the intended regime.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "reductions/access_pattern.hpp"
+
+namespace sapp::workloads {
+
+/// Paper-published expectations for one Fig. 3 row (for side-by-side
+/// printing; empty strings when the paper does not report a value).
+struct PaperRow {
+  std::string recommended;     ///< paper's "Recom. Scheme" column
+  std::string measured_order;  ///< paper's experimental ordering, best first
+};
+
+/// One generated reduction workload.
+struct Workload {
+  std::string app;      ///< application ("Irreg", "Nbf", ...)
+  std::string loop;     ///< loop name from the paper ("do100", "smvp", ...)
+  std::string variant;  ///< input-size label (e.g. "dim=100000")
+  ReductionInput input;
+  PaperRow paper;
+
+  /// Instructions per iteration (Table 2) — used by the simulator's trace
+  /// generator to size the compute portion of each iteration.
+  unsigned instr_per_iter = 0;
+  /// Loop invocations in one program run (Table 2).
+  unsigned invocations = 1;
+  /// Bytes of input data (index/pair lists) streamed per iteration by the
+  /// simulator traces. Varies enormously across the codes: an Euler edge
+  /// reads two node ids (8 B) while an Nbf charge group streams its whole
+  /// pair list (~800 B). 0 = default of 4 B per reference.
+  unsigned input_bytes_per_iter = 0;
+};
+
+/// Common knobs of the synthetic reference-pattern engine. Every app
+/// generator is a differently-shaped instantiation of this.
+struct SynthParams {
+  std::size_t dim = 0;        ///< reduction array elements
+  std::size_t distinct = 0;   ///< elements actually referenced
+  std::size_t iterations = 0;
+  unsigned refs_per_iter = 1; ///< the MO target
+  double zipf_theta = 0.0;    ///< reference histogram skew (0 = uniform)
+  double locality = 0.9;      ///< P(later ref close to the iteration's first)
+  std::size_t window = 256;   ///< "close" = within this many active elements
+  bool sort_iterations = true;///< order iterations by first element (mesh order)
+  unsigned body_flops = 4;
+  bool lw_legal = true;
+  std::uint64_t seed = 12345;
+};
+
+/// Build a pattern+values from the synthetic engine.
+[[nodiscard]] ReductionInput make_synthetic(const SynthParams& p);
+
+// ---- Application generators (software study, Fig. 3) -------------------
+
+/// IRREG: CFD-style edge list over an irregular mesh, MO=2, good spatial
+/// locality after mesh renumbering.
+[[nodiscard]] Workload make_irreg(std::size_t dim, std::size_t distinct,
+                                  std::size_t edges, std::uint64_t seed);
+
+/// NBF (GROMOS nonbonded force, loop do50): pair list accumulating into one
+/// partner per interaction (MO=1), heavily skewed reference histogram.
+[[nodiscard]] Workload make_nbf(std::size_t dim, std::size_t distinct,
+                                std::size_t pairs, std::uint64_t seed);
+
+/// MOLDYN ComputeForces: neighbor pairs of a 3-D particle lattice, MO=2,
+/// high cross-thread sharing of the touched set.
+[[nodiscard]] Workload make_moldyn(std::size_t dim, std::size_t distinct,
+                                   std::size_t pairs, std::uint64_t seed);
+
+/// SPARK98 smvp: symmetric sparse matrix-vector product accumulation,
+/// MO=1, row-banded locality.
+[[nodiscard]] Workload make_spark98(std::size_t dim, std::size_t distinct,
+                                    std::size_t nnz, std::uint64_t seed);
+
+/// CHARMM dynamc do78: bonded-force interaction lists, MO=2, large arrays,
+/// heavy per-iteration body.
+[[nodiscard]] Workload make_charmm(std::size_t dim, std::size_t distinct,
+                                   std::size_t interactions,
+                                   std::uint64_t seed);
+
+/// SPICE bjt100 device loading: each device stamps ~28 scattered matrix
+/// entries; tiny touched set inside a huge index space; iteration
+/// replication illegal (device model updates shared state).
+[[nodiscard]] Workload make_spice(std::size_t dim, std::size_t devices,
+                                  std::uint64_t seed);
+
+// ---- Application generators (hardware study, Table 2) ------------------
+
+/// EULER dflux do100 (HPF-2): flux accumulation over unstructured-mesh
+/// edges.
+[[nodiscard]] Workload make_euler(double scale, std::uint64_t seed);
+/// EQUAKE smvp (SPECfp2000): sparse matrix-vector with 3 dofs per node.
+[[nodiscard]] Workload make_equake(double scale, std::uint64_t seed);
+/// VML VecMult CAB (Sparse BLAS): small dense-ish accumulation target.
+[[nodiscard]] Workload make_vml(double scale, std::uint64_t seed);
+/// CHARMM dynamc (hardware-study sizing).
+[[nodiscard]] Workload make_charmm_hw(double scale, std::uint64_t seed);
+/// NBF do50 (hardware-study sizing).
+[[nodiscard]] Workload make_nbf_hw(double scale, std::uint64_t seed);
+
+}  // namespace sapp::workloads

@@ -1,0 +1,259 @@
+// Unit tests for the common substrate.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <thread>
+
+#include "common/aligned.hpp"
+#include "common/barrier.hpp"
+#include "common/csr.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "common/thread_pool.hpp"
+#include "common/timer.hpp"
+
+namespace sapp {
+namespace {
+
+// ---------------- Rng ----------------
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42), c(43);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a(), b());
+  }
+  bool differs = false;
+  Rng a2(42);
+  for (int i = 0; i < 100; ++i)
+    if (a2() != c()) differs = true;
+  EXPECT_TRUE(differs);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(r.below(17), 17u);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(8);
+  double sum = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const double u = r.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 20000, 0.5, 0.02);
+}
+
+TEST(Rng, ZipfZeroThetaIsRoughlyUniform) {
+  Rng r(9);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 50000; ++i) ++counts[r.zipf(10, 0.0)];
+  for (int c : counts) EXPECT_NEAR(c, 5000, 600);
+}
+
+TEST(Rng, ZipfSkewsTowardLowRanks) {
+  Rng r(10);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 50000; ++i) ++counts[r.zipf(100, 0.9)];
+  // Rank 0 much more popular than rank 50.
+  EXPECT_GT(counts[0], counts[50] * 3);
+  EXPECT_GT(counts[0], counts[99] * 3);
+}
+
+// ---------------- stats ----------------
+
+TEST(Stats, MeanStddevMedian) {
+  const std::vector<double> xs{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(mean(xs), 3.0);
+  EXPECT_NEAR(stddev(xs), 1.5811, 1e-3);
+  EXPECT_DOUBLE_EQ(median(xs), 3.0);
+  const std::vector<double> even{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(median(even), 2.5);
+}
+
+TEST(Stats, HarmonicMeanMatchesPaperUsage) {
+  // Harmonic mean of {4.0, 14.0, 6.1, 9.9, 15.6} — the Fig. 6 Hw speedups —
+  // should land near the paper's reported 7.6 average.
+  const std::vector<double> hw{4.0, 14.0, 6.1, 9.9, 15.6};
+  EXPECT_NEAR(harmonic_mean(hw), 7.6, 0.35);
+}
+
+TEST(Stats, HarmonicMeanRejectsNonPositive) {
+  const std::vector<double> bad{1.0, 0.0};
+  EXPECT_DEATH(harmonic_mean(bad), "positive");
+}
+
+TEST(Stats, Speedup) { EXPECT_DOUBLE_EQ(speedup(10.0, 2.5), 4.0); }
+
+// ---------------- Table ----------------
+
+TEST(Table, AlignsColumns) {
+  Table t({"a", "long-header", "c"});
+  t.add_row({"xx", "1", "2"});
+  t.add_row({"y", "12345678901234", "3"});
+  const std::string s = t.str();
+  EXPECT_NE(s.find("long-header"), std::string::npos);
+  EXPECT_NE(s.find("12345678901234"), std::string::npos);
+  // All lines same length for fully populated rows.
+  EXPECT_DEATH(t.add_row({"only-two", "cells"}), "width");
+}
+
+TEST(Table, NumFormatting) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(static_cast<long long>(42)), "42");
+}
+
+// ---------------- static_block ----------------
+
+TEST(StaticBlock, CoversRangeExactly) {
+  for (std::size_t n : {0ul, 1ul, 7ul, 64ul, 1000ul}) {
+    for (unsigned p : {1u, 2u, 3u, 8u, 16u}) {
+      std::size_t covered = 0;
+      std::size_t prev_end = 0;
+      for (unsigned t = 0; t < p; ++t) {
+        const Range r = static_block(n, t, p);
+        EXPECT_EQ(r.begin, prev_end);
+        prev_end = r.end;
+        covered += r.size();
+      }
+      EXPECT_EQ(prev_end, n);
+      EXPECT_EQ(covered, n);
+    }
+  }
+}
+
+TEST(StaticBlock, BalancedWithinOne) {
+  for (unsigned t = 0; t < 7; ++t) {
+    const auto sz = static_block(23, t, 7).size();
+    EXPECT_GE(sz, 3u);
+    EXPECT_LE(sz, 4u);
+  }
+}
+
+// ---------------- SpinBarrier ----------------
+
+TEST(SpinBarrier, SynchronizesPhases) {
+  constexpr unsigned kThreads = 4;
+  SpinBarrier bar(kThreads);
+  std::atomic<int> phase_counter{0};
+  std::vector<int> seen(kThreads, -1);
+  std::vector<std::thread> ts;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&, t] {
+      for (int ph = 0; ph < 5; ++ph) {
+        phase_counter.fetch_add(1);
+        bar.arrive_and_wait();
+        // After the barrier, all increments of this phase are visible.
+        EXPECT_GE(phase_counter.load(), (ph + 1) * static_cast<int>(kThreads));
+        bar.arrive_and_wait();
+      }
+      seen[t] = 1;
+    });
+  }
+  for (auto& th : ts) th.join();
+  for (int s : seen) EXPECT_EQ(s, 1);
+}
+
+// ---------------- ThreadPool ----------------
+
+TEST(ThreadPool, RunsEveryWorkerOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> counts(4);
+  pool.run([&](unsigned tid) { counts[tid].fetch_add(1); });
+  for (auto& c : counts) EXPECT_EQ(c.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForCoversRange) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(100);
+  pool.parallel_for(100, [&](unsigned, Range r) {
+    for (std::size_t i = r.begin; i < r.end; ++i) hits[i].fetch_add(1);
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, DynamicCoversRangeOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1003);
+  pool.parallel_for_dynamic(1003, 17, [&](unsigned, Range r) {
+    for (std::size_t i = r.begin; i < r.end; ++i) hits[i].fetch_add(1);
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ReusableAcrossManyInvocations) {
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  for (int k = 0; k < 200; ++k)
+    pool.run([&](unsigned) { total.fetch_add(1); });
+  EXPECT_EQ(total.load(), 400);
+}
+
+TEST(ThreadPool, EmptyRangeDoesNotInvokeBody) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  pool.parallel_for(0, [&](unsigned, Range) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+// ---------------- Csr ----------------
+
+TEST(Csr, FromPairsGroupsByRow) {
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> pairs{
+      {2, 7}, {0, 1}, {2, 9}, {0, 3}};
+  const Csr csr = Csr::from_pairs(3, pairs);
+  EXPECT_EQ(csr.rows(), 3u);
+  EXPECT_EQ(csr.nnz(), 4u);
+  ASSERT_EQ(csr.row(0).size(), 2u);
+  EXPECT_EQ(csr.row(0)[0], 1u);
+  EXPECT_EQ(csr.row(0)[1], 3u);
+  EXPECT_EQ(csr.row(1).size(), 0u);
+  ASSERT_EQ(csr.row(2).size(), 2u);
+  EXPECT_EQ(csr.row(2)[0], 7u);
+  EXPECT_EQ(csr.row(2)[1], 9u);
+}
+
+TEST(Csr, RejectsMalformedRowPtr) {
+  EXPECT_DEATH(Csr({0, 5}, {1, 2}), "malformed");
+}
+
+// ---------------- aligned ----------------
+
+TEST(Aligned, PaddedOccupiesFullCacheLine) {
+  static_assert(sizeof(Padded<int>) == kCacheLine);
+  static_assert(alignof(Padded<int>) == kCacheLine);
+  Padded<int> arr[4];
+  for (int i = 0; i < 4; ++i) *arr[i] = i;
+  EXPECT_EQ(*arr[3], 3);
+}
+
+TEST(Aligned, VectorDataCacheAligned) {
+  CacheAlignedVector<double> v(100, 1.0);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(v.data()) % kCacheLine, 0u);
+  EXPECT_DOUBLE_EQ(std::accumulate(v.begin(), v.end(), 0.0), 100.0);
+}
+
+// ---------------- Timer ----------------
+
+TEST(Timer, MonotonicAndRestartable) {
+  Timer t;
+  const double a = t.seconds();
+  const double b = t.seconds();
+  EXPECT_GE(b, a);
+  t.restart();
+  EXPECT_LT(t.seconds(), 0.5);
+}
+
+TEST(Timer, PhaseTimesAccumulate) {
+  PhaseTimes a{1.0, 2.0, 3.0}, b{0.5, 0.5, 0.5};
+  a += b;
+  EXPECT_DOUBLE_EQ(a.total(), 7.5);
+}
+
+}  // namespace
+}  // namespace sapp

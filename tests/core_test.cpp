@@ -1,0 +1,362 @@
+// Tests for the adaptive core: characterizer, decision models, cost model,
+// phase monitor and the AdaptiveReducer feedback loop.
+#include <gtest/gtest.h>
+
+#include "core/adaptive.hpp"
+#include "core/runtime.hpp"
+#include "workloads/workload.hpp"
+
+namespace sapp {
+namespace {
+
+// Hand-built pattern with exactly known statistics:
+//   dim = 10, iterations = 4,
+//   iter 0: {0, 1}, iter 1: {1, 2}, iter 2: {2, 3}, iter 3: {3, 3}.
+AccessPattern tiny_pattern() {
+  AccessPattern p;
+  p.dim = 10;
+  p.refs = Csr({0, 2, 4, 6, 8}, {0, 1, 1, 2, 2, 3, 3, 3});
+  return p;
+}
+
+TEST(Characterize, ExactMeasuresOnTinyPattern) {
+  const PatternStats s = characterize(tiny_pattern(), 2);
+  EXPECT_EQ(s.dim, 10u);
+  EXPECT_EQ(s.iterations, 4u);
+  EXPECT_EQ(s.refs, 8u);
+  EXPECT_EQ(s.distinct, 4u);           // {0,1,2,3}
+  EXPECT_DOUBLE_EQ(s.sp, 40.0);        // 4/10
+  EXPECT_DOUBLE_EQ(s.con, 2.0);        // 8 refs / 4 distinct
+  // Iter distinct counts: 2,2,2,1 -> MO = 7/4.
+  EXPECT_DOUBLE_EQ(s.mo, 1.75);
+  EXPECT_DOUBLE_EQ(s.chr, 8.0 / (2 * 10));
+  EXPECT_TRUE(s.lw_legal);
+}
+
+TEST(Characterize, ChHistogramCountsPerElementReferences) {
+  const PatternStats s = characterize(tiny_pattern(), 1);
+  // Element 0: 1 ref; 1: 2; 2: 2; 3: 3.
+  EXPECT_EQ(s.ch[1], 1u);
+  EXPECT_EQ(s.ch[2], 2u);
+  EXPECT_EQ(s.ch[3], 1u);
+}
+
+TEST(Characterize, SharedFractionUnderBlockSchedule) {
+  // 2 threads, 4 iterations: thread 0 runs iters {0,1}, thread 1 {2,3}.
+  // Touched by t0: {0,1,2}; t1: {2,3}. Shared: {2}.
+  const PatternStats s = characterize(tiny_pattern(), 2);
+  EXPECT_NEAR(s.shared_fraction, 0.25, 1e-9);
+}
+
+TEST(Characterize, SamplingApproximatesExact) {
+  workloads::SynthParams p;
+  p.dim = 20000;
+  p.distinct = 8000;
+  p.iterations = 40000;
+  p.refs_per_iter = 2;
+  p.seed = 5;
+  const auto in = workloads::make_synthetic(p);
+  const PatternStats exact = characterize(in.pattern, 4);
+  CharacterizeOptions opt;
+  opt.sample_stride = 16;
+  const PatternStats approx = characterize(in.pattern, 4, opt);
+  EXPECT_NEAR(approx.mo, exact.mo, 0.05);
+  EXPECT_NEAR(static_cast<double>(approx.refs),
+              static_cast<double>(exact.refs),
+              0.05 * static_cast<double>(exact.refs));
+  // Distinct is biased downward by sampling but must stay within 2x.
+  EXPECT_GT(approx.distinct * 4, exact.distinct);
+}
+
+TEST(Characterize, GiniDetectsSkew) {
+  workloads::SynthParams uniform;
+  uniform.dim = 5000;
+  uniform.distinct = 4000;
+  uniform.iterations = 30000;
+  uniform.zipf_theta = 0.0;
+  uniform.seed = 6;
+  workloads::SynthParams skewed = uniform;
+  skewed.zipf_theta = 1.1;
+  const auto u = characterize(workloads::make_synthetic(uniform).pattern, 4);
+  const auto z = characterize(workloads::make_synthetic(skewed).pattern, 4);
+  EXPECT_GT(z.chd_gini, u.chd_gini + 0.2);
+}
+
+TEST(Characterize, LwReplicationOnSplitPattern) {
+  // Every iteration touches both halves of the element space: replication
+  // factor must approach 2 under 2 threads.
+  std::vector<std::uint64_t> ptr{0};
+  std::vector<std::uint32_t> idx;
+  for (std::size_t i = 0; i < 100; ++i) {
+    idx.push_back(static_cast<std::uint32_t>(i % 50));
+    idx.push_back(static_cast<std::uint32_t>(50 + i % 50));
+    ptr.push_back(idx.size());
+  }
+  AccessPattern p;
+  p.dim = 100;
+  p.refs = Csr(std::move(ptr), std::move(idx));
+  const PatternStats s = characterize(p, 2);
+  EXPECT_NEAR(s.lw_replication, 2.0, 1e-9);
+}
+
+// ---------------- decision ----------------
+
+PatternStats stats_with(double sp, double chr, double dim_ratio,
+                        double shared_frac, double lw_repl = 1.0,
+                        double lw_imb = 1.0, bool lw_legal = true) {
+  PatternStats s;
+  s.threads = 8;
+  s.dim = 100000;
+  s.iterations = 100000;
+  s.refs = 200000;
+  s.distinct = 50000;
+  s.sp = sp;
+  s.chr = chr;
+  s.dim_ratio = dim_ratio;
+  s.shared_fraction = shared_frac;
+  s.lw_replication = lw_repl;
+  s.lw_imbalance = lw_imb;
+  s.lw_legal = lw_legal;
+  s.touched_per_thread = 10000;
+  s.mo = 2;
+  s.con = 4;
+  return s;
+}
+
+TEST(DecideRules, VerySparseScatterPicksHash) {
+  auto s = stats_with(0.3, 0.1, 10.0, 0.5);
+  s.mo = 28;  // wide scatter iterations (the Spice signature)
+  const auto d = decide_rules(s);
+  EXPECT_EQ(d.recommended, SchemeKind::kHash);
+  EXPECT_NE(d.rationale.find("hash"), std::string::npos);
+}
+
+TEST(DecideRules, SparseButNarrowIterationsAvoidHash) {
+  auto s = stats_with(0.3, 0.1, 10.0, 0.1);
+  s.mo = 2;  // sparse, but each iteration touches little: sel territory
+  const auto d = decide_rules(s);
+  EXPECT_NE(d.recommended, SchemeKind::kHash);
+}
+
+TEST(DecideRules, DenseReusePicksRep) {
+  const auto d = decide_rules(stats_with(40.0, 3.5, 1.5, 0.6));
+  EXPECT_EQ(d.recommended, SchemeKind::kRep);
+}
+
+TEST(DecideRules, LocalizedBalancedPicksLw) {
+  const auto d = decide_rules(stats_with(5.0, 0.5, 8.0, 0.2, 1.1, 1.1));
+  EXPECT_EQ(d.recommended, SchemeKind::kLocalWrite);
+}
+
+TEST(DecideRules, HighSharingPicksLl) {
+  const auto d =
+      decide_rules(stats_with(5.0, 0.5, 8.0, 0.8, 2.0, 3.0));
+  EXPECT_EQ(d.recommended, SchemeKind::kLinked);
+}
+
+TEST(DecideRules, LowSharingPicksSel) {
+  const auto d = decide_rules(stats_with(5.0, 0.5, 8.0, 0.1, 2.0, 3.0));
+  EXPECT_EQ(d.recommended, SchemeKind::kSelective);
+}
+
+TEST(DecideRules, LwIllegalNeverRecommendsLw) {
+  auto s = stats_with(5.0, 0.5, 8.0, 0.2, 1.0, 1.0, /*lw_legal=*/false);
+  const auto d = decide_rules(s);
+  EXPECT_NE(d.recommended, SchemeKind::kLocalWrite);
+}
+
+TEST(CostModel, LwMarkedInapplicableWhenIllegal) {
+  auto s = stats_with(5.0, 0.5, 8.0, 0.2);
+  s.lw_legal = false;
+  const auto c =
+      predict_cost(SchemeKind::kLocalWrite, s, 4, MachineCoeffs::defaults());
+  EXPECT_FALSE(c.applicable);
+}
+
+TEST(CostModel, PredictAllSortsAscending) {
+  const auto all =
+      predict_all(stats_with(5.0, 0.5, 8.0, 0.2), 4, MachineCoeffs::defaults());
+  ASSERT_EQ(all.size(), 5u);
+  for (std::size_t i = 1; i < all.size(); ++i) {
+    if (all[i].applicable)
+      EXPECT_LE(all[i - 1].total(), all[i].total());
+  }
+}
+
+TEST(CostModel, RepInitMergeScaleWithDim) {
+  auto small = stats_with(40.0, 3.0, 1.0, 0.5);
+  auto large = small;
+  large.dim = 10 * small.dim;
+  const auto mc = MachineCoeffs::defaults();
+  const auto cs = predict_cost(SchemeKind::kRep, small, 4, mc);
+  const auto cl = predict_cost(SchemeKind::kRep, large, 4, mc);
+  EXPECT_GT(cl.init_s, 5 * cs.init_s);
+  EXPECT_GT(cl.merge_s, 5 * cs.merge_s);
+}
+
+TEST(DecideModel, PicksArgminAndExplains) {
+  const auto d = decide_model(stats_with(0.2, 0.05, 12.0, 0.3), 4,
+                              MachineCoeffs::defaults());
+  EXPECT_TRUE(d.predictions.front().applicable);
+  EXPECT_EQ(d.recommended, d.predictions.front().scheme);
+  EXPECT_FALSE(d.rationale.empty());
+}
+
+// ---------------- phase monitor ----------------
+
+TEST(PhaseMonitor, StablePatternNeverTriggers) {
+  const auto p = tiny_pattern();
+  PhaseMonitor mon(0.25);
+  const auto sig = PatternSignature::of(p);
+  mon.rebase(sig);
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(mon.observe(sig));
+}
+
+TEST(PhaseMonitor, DimensionChangeTriggersImmediately) {
+  auto p = tiny_pattern();
+  PhaseMonitor mon(0.25);
+  mon.rebase(PatternSignature::of(p));
+  EXPECT_FALSE(mon.observe(PatternSignature::of(p)));
+  AccessPattern q = tiny_pattern();
+  q.dim = 20;
+  EXPECT_TRUE(mon.observe(PatternSignature::of(q)));
+}
+
+TEST(PhaseMonitor, GradualDriftAccumulates) {
+  PhaseMonitor mon(0.25);
+  workloads::SynthParams sp;
+  sp.dim = 1000;
+  sp.distinct = 500;
+  sp.iterations = 1000;
+  sp.seed = 1;
+  auto base = workloads::make_synthetic(sp);
+  mon.rebase(PatternSignature::of(base.pattern));
+  bool triggered = false;
+  for (int step = 1; step <= 30 && !triggered; ++step) {
+    sp.iterations = 1000 + 80 * step;  // the loop keeps growing
+    sp.seed = 1 + step;
+    auto next = workloads::make_synthetic(sp);
+    triggered = mon.observe(PatternSignature::of(next.pattern));
+  }
+  EXPECT_TRUE(triggered);
+}
+
+// ---------------- adaptive reducer ----------------
+
+ReductionInput sparse_input() {
+  workloads::SynthParams p;
+  p.dim = 300000;
+  p.distinct = 900;
+  p.iterations = 2000;
+  p.refs_per_iter = 3;
+  p.seed = 77;
+  p.lw_legal = false;
+  return workloads::make_synthetic(p);
+}
+
+TEST(AdaptiveReducer, ProducesCorrectResults) {
+  const auto in = sparse_input();
+  std::vector<double> ref(in.pattern.dim, 0.0);
+  run_sequential(in, ref);
+
+  ThreadPool pool(4);
+  AdaptiveReducer red(pool, MachineCoeffs::defaults());
+  std::vector<double> out(in.pattern.dim, 0.0);
+  red.invoke(in, out);
+  for (std::size_t e = 0; e < ref.size(); e += 503)
+    ASSERT_NEAR(ref[e], out[e], 1e-8);
+}
+
+TEST(AdaptiveReducer, CharacterizesOnceForStablePattern) {
+  const auto in = sparse_input();
+  ThreadPool pool(2);
+  AdaptiveReducer red(pool, MachineCoeffs::defaults());
+  std::vector<double> out(in.pattern.dim, 0.0);
+  for (int k = 0; k < 10; ++k) {
+    std::fill(out.begin(), out.end(), 0.0);
+    red.invoke(in, out);
+  }
+  EXPECT_EQ(red.invocations(), 10u);
+  EXPECT_EQ(red.recharacterizations(), 1u);
+}
+
+TEST(AdaptiveReducer, DriftTriggersRecharacterization) {
+  ThreadPool pool(2);
+  AdaptiveReducer red(pool, MachineCoeffs::defaults(),
+                      AdaptiveOptions{.drift_threshold = 0.2});
+  workloads::SynthParams p;
+  p.dim = 50000;
+  p.distinct = 400;
+  p.iterations = 1000;
+  p.seed = 3;
+  auto in = workloads::make_synthetic(p);
+  std::vector<double> out(in.pattern.dim, 0.0);
+  red.invoke(in, out);
+  EXPECT_EQ(red.recharacterizations(), 1u);
+  // The loop's extent quadruples: structural drift.
+  p.iterations = 8000;
+  p.distinct = 4000;
+  p.seed = 4;
+  in = workloads::make_synthetic(p);
+  std::fill(out.begin(), out.end(), 0.0);
+  red.invoke(in, out);
+  EXPECT_GE(red.recharacterizations(), 2u);
+}
+
+TEST(AdaptiveReducer, MispredictionSwitchesScheme) {
+  // Deliberately poisoned coefficients make the model love rep for a
+  // pattern where rep is terrible (tiny touched set in a huge array);
+  // sustained overruns must switch to the runner-up.
+  MachineCoeffs poisoned = MachineCoeffs::defaults();
+  poisoned.ns_init = 1e-7;    // model thinks init is free
+  poisoned.ns_merge = 1e-7;   // ... and merge too
+  poisoned.ns_alloc = 1e-7;   // ... and allocating P full copies
+  poisoned.ns_hash = 1e9;     // and that hash is absurdly expensive
+  poisoned.ns_slot = 1e9;     // ... and so is sel's indirection
+  poisoned.ns_update_far = poisoned.ns_update;
+
+  const auto in = sparse_input();
+  ThreadPool pool(2);
+  AdaptiveReducer red(pool, poisoned,
+                      AdaptiveOptions{.mispredict_ratio = 3.0,
+                                      .mispredict_patience = 2});
+  std::vector<double> out(in.pattern.dim, 0.0);
+  const SchemeKind first = [&] {
+    red.invoke(in, out);
+    return red.current();
+  }();
+  for (int k = 0; k < 8; ++k) {
+    std::fill(out.begin(), out.end(), 0.0);
+    red.invoke(in, out);
+  }
+  EXPECT_EQ(first, SchemeKind::kRep);  // the poisoned model's favourite
+  EXPECT_GT(red.scheme_switches(), 0u);
+  EXPECT_NE(red.current(), SchemeKind::kRep);
+}
+
+// ---------------- runtime facade ----------------
+
+TEST(SmartAppsRuntime, SitesAreIndependentAndReported) {
+  SmartAppsRuntime rt(SmartAppsRuntime::Options{
+      .threads = 2, .calibrate = false, .adaptive = {}});
+  auto in = sparse_input();
+  std::vector<double> out(in.pattern.dim, 0.0);
+  rt.reducer("siteA").invoke(in, out);
+  auto& again = rt.reducer("siteA");
+  EXPECT_EQ(again.invocations(), 1u);
+  const std::string rep = rt.report();
+  EXPECT_NE(rep.find("siteA"), std::string::npos);
+  EXPECT_NE(rep.find("2 threads"), std::string::npos);
+}
+
+TEST(SmartAppsRuntime, CalibrationProducesPositiveCoefficients) {
+  SmartAppsRuntime rt(SmartAppsRuntime::Options{.threads = 2});
+  const MachineCoeffs& mc = rt.coeffs();
+  EXPECT_GT(mc.ns_update, 0.0);
+  EXPECT_GT(mc.ns_init, 0.0);
+  EXPECT_GT(mc.ns_atomic, 0.0);
+  EXPECT_GT(mc.fork_join_us, 0.0);
+}
+
+}  // namespace
+}  // namespace sapp

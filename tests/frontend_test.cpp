@@ -1,0 +1,184 @@
+// Tests for the compiler front-end: reduction recognition per the §4
+// footnote rules, legality analysis, and inspector-based pattern
+// extraction.
+#include <gtest/gtest.h>
+
+#include "frontend/loop_ir.hpp"
+
+namespace sapp::frontend {
+namespace {
+
+using Op = Statement::Op;
+
+// The canonical loop of Fig. 5:  for i: w[x[i]] += expression.
+LoopNest canonical(std::size_t n = 100) {
+  LoopNest l;
+  l.name = "fig5";
+  l.iterations = n;
+  l.body.push_back(
+      {"w", IndexExpr::indirect("x"), Op::kPlusAssign, ValueExpr::computed()});
+  return l;
+}
+
+TEST(Recognize, CanonicalReductionLoop) {
+  const LoopAnalysis a = analyze(canonical());
+  ASSERT_EQ(a.arrays.size(), 1u);
+  EXPECT_TRUE(a.arrays[0].is_reduction);
+  EXPECT_EQ(a.arrays[0].op, Op::kPlusAssign);
+  EXPECT_TRUE(a.fully_reduction_parallel);
+  EXPECT_TRUE(a.iteration_replication_legal);
+}
+
+TEST(Recognize, PlainAssignmentIsNotAReduction) {
+  LoopNest l = canonical();
+  l.body.push_back(
+      {"w", IndexExpr::loop_index(), Op::kAssign, ValueExpr::computed()});
+  const LoopAnalysis a = analyze(l);
+  EXPECT_FALSE(a.find("w")->is_reduction);
+  EXPECT_NE(a.find("w")->reason.find("plain assignment"), std::string::npos);
+  EXPECT_FALSE(a.iteration_replication_legal);
+}
+
+TEST(Recognize, TargetReadElsewherePoisonsRecognition) {
+  // w appears in another statement's RHS: not a reduction variable.
+  LoopNest l = canonical();
+  l.body.push_back({"y", IndexExpr::loop_index(), Op::kPlusAssign,
+                    ValueExpr::array_read("w", IndexExpr::loop_index())});
+  const LoopAnalysis a = analyze(l);
+  EXPECT_FALSE(a.find("w")->is_reduction);
+  EXPECT_NE(a.find("w")->reason.find("read elsewhere"), std::string::npos);
+}
+
+TEST(Recognize, SelfReferenceInExpressionPoisons) {
+  LoopNest l;
+  l.iterations = 10;
+  l.body.push_back({"w", IndexExpr::loop_index(), Op::kPlusAssign,
+                    ValueExpr::array_read("w", IndexExpr::loop_index(1))});
+  const LoopAnalysis a = analyze(l);
+  EXPECT_FALSE(a.find("w")->is_reduction);
+}
+
+TEST(Recognize, MixedOperatorsRejectedPerSection514) {
+  // §5.1.4: "Any loop that performs several types of reduction operation
+  // must be distributed into multiple loops."
+  LoopNest l = canonical();
+  l.body.push_back({"w", IndexExpr::indirect("x"), Op::kMaxAssign,
+                    ValueExpr::computed()});
+  const LoopAnalysis a = analyze(l);
+  EXPECT_FALSE(a.find("w")->is_reduction);
+  EXPECT_FALSE(a.find("w")->single_operator);
+}
+
+TEST(Recognize, IndependentArraysAnalyzedSeparately) {
+  LoopNest l = canonical();
+  l.body.push_back({"hist", IndexExpr::indirect("bin"), Op::kPlusAssign,
+                    ValueExpr::computed()});
+  l.body.push_back(
+      {"out", IndexExpr::loop_index(), Op::kAssign, ValueExpr::computed()});
+  const LoopAnalysis a = analyze(l);
+  EXPECT_TRUE(a.find("w")->is_reduction);
+  EXPECT_TRUE(a.find("hist")->is_reduction);
+  EXPECT_FALSE(a.find("out")->is_reduction);
+  EXPECT_FALSE(a.fully_reduction_parallel);
+  // The plain write forbids iteration replication — exactly the paper's
+  // Spice situation.
+  EXPECT_FALSE(a.iteration_replication_legal);
+}
+
+TEST(Recognize, MaxReductionRecognized) {
+  LoopNest l;
+  l.iterations = 50;
+  l.body.push_back({"peak", IndexExpr::indirect("cell"), Op::kMaxAssign,
+                    ValueExpr::input("sample")});
+  const LoopAnalysis a = analyze(l);
+  EXPECT_TRUE(a.find("peak")->is_reduction);
+  EXPECT_EQ(a.find("peak")->op, Op::kMaxAssign);
+}
+
+// ---------------- extraction ----------------
+
+TEST(Extract, BuildsPatternFromIndexArrays) {
+  LoopNest l = canonical(4);
+  Bindings b;
+  b.index_arrays["x"] = {7, 3, 7, 1};
+  const LoopAnalysis a = analyze(l);
+  const ReductionInput in = extract_input(l, a, "w", 10, b);
+  EXPECT_EQ(in.pattern.dim, 10u);
+  EXPECT_EQ(in.pattern.iterations(), 4u);
+  ASSERT_EQ(in.pattern.num_refs(), 4u);
+  EXPECT_EQ(in.pattern.refs.row(0)[0], 7u);
+  EXPECT_EQ(in.pattern.refs.row(1)[0], 3u);
+  EXPECT_EQ(in.pattern.refs.row(3)[0], 1u);
+  EXPECT_TRUE(in.consistent());
+}
+
+TEST(Extract, MultipleUpdatesPerIteration) {
+  LoopNest l;
+  l.iterations = 3;
+  l.body.push_back({"w", IndexExpr::indirect("a"), Op::kPlusAssign,
+                    ValueExpr::input("va")});
+  l.body.push_back({"w", IndexExpr::indirect("b"), Op::kPlusAssign,
+                    ValueExpr::input("vb")});
+  Bindings bind;
+  bind.index_arrays["a"] = {0, 1, 2};
+  bind.index_arrays["b"] = {5, 5, 5};
+  bind.value_arrays["va"] = {1.0, 2.0, 3.0};
+  bind.value_arrays["vb"] = {10.0, 20.0, 30.0};
+  const auto in = extract_input(l, analyze(l), "w", 8, bind);
+  EXPECT_EQ(in.pattern.num_refs(), 6u);
+  // Values interleave per body order: va[i], vb[i].
+  EXPECT_DOUBLE_EQ(in.values[0], 1.0);
+  EXPECT_DOUBLE_EQ(in.values[1], 10.0);
+  EXPECT_DOUBLE_EQ(in.values[4], 3.0);
+  EXPECT_DOUBLE_EQ(in.values[5], 30.0);
+}
+
+TEST(Extract, LegalityFlagsPropagate) {
+  LoopNest l = canonical(5);
+  l.body.push_back(
+      {"log", IndexExpr::loop_index(), Op::kAssign, ValueExpr::computed()});
+  Bindings b;
+  b.index_arrays["x"] = {0, 1, 2, 3, 4};
+  const auto a = analyze(l);
+  const auto in = extract_input(l, a, "w", 10, b);
+  EXPECT_FALSE(in.pattern.iteration_replication_legal);
+}
+
+TEST(Extract, RejectsUnrecognizedTarget) {
+  LoopNest l = canonical(5);
+  l.body.push_back(
+      {"w", IndexExpr::loop_index(), Op::kAssign, ValueExpr::computed()});
+  Bindings b;
+  b.index_arrays["x"] = {0, 1, 2, 3, 4};
+  const auto a = analyze(l);
+  EXPECT_DEATH(extract_input(l, a, "w", 10, b), "not recognized");
+}
+
+TEST(Extract, RangeChecksSubscripts) {
+  LoopNest l = canonical(2);
+  Bindings b;
+  b.index_arrays["x"] = {1, 99};
+  const auto a = analyze(l);
+  EXPECT_DEATH(extract_input(l, a, "w", 10, b), "extent");
+}
+
+// ---------------- end to end: extraction result is executable ----------
+
+TEST(Extract, ExtractedInputRunsCorrectly) {
+  LoopNest l = canonical(64);
+  Bindings b;
+  std::vector<std::uint32_t> x(64);
+  std::vector<double> ref(16, 0.0);
+  for (std::size_t i = 0; i < 64; ++i) x[i] = static_cast<std::uint32_t>(
+      (i * 5) % 16);
+  b.index_arrays["x"] = x;
+  const auto in = extract_input(l, analyze(l), "w", 16, b);
+
+  run_sequential(in, ref);
+  double total = 0.0;
+  for (double v : ref) total += v;
+  EXPECT_GT(total, 0.0);  // computed() values are positive
+}
+
+}  // namespace
+}  // namespace sapp::frontend

@@ -1,0 +1,186 @@
+// Edge cases and structural properties of the reduction scheme library
+// beyond the main equivalence suite.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "reductions/registry.hpp"
+#include "reductions/scheme_ll.hpp"
+#include "reductions/scheme_lw.hpp"
+
+namespace sapp {
+namespace {
+
+ThreadPool& pool3() {
+  static ThreadPool pool(3);
+  return pool;
+}
+
+ReductionInput explicit_input(std::size_t dim,
+                              std::vector<std::vector<std::uint32_t>> iters,
+                              unsigned flops = 0) {
+  ReductionInput in;
+  in.pattern.dim = dim;
+  in.pattern.body_flops = flops;
+  std::vector<std::uint64_t> ptr{0};
+  std::vector<std::uint32_t> idx;
+  for (auto& it : iters) {
+    idx.insert(idx.end(), it.begin(), it.end());
+    ptr.push_back(idx.size());
+  }
+  in.pattern.refs = Csr(std::move(ptr), std::move(idx));
+  Rng rng(17);
+  in.values.resize(in.pattern.num_refs());
+  for (auto& v : in.values) v = rng.uniform(-3.0, 3.0);
+  return in;
+}
+
+std::vector<double> reference(const ReductionInput& in) {
+  std::vector<double> out(in.pattern.dim, 0.0);
+  run_sequential(in, out);
+  return out;
+}
+
+TEST(Edge, EmptyLoopLeavesOutputUntouched) {
+  const auto in = explicit_input(8, {});
+  for (SchemeKind k : candidate_scheme_kinds()) {
+    std::vector<double> out(8, 2.5);
+    make_scheme(k)->run(in, pool3(), out);
+    for (double v : out) ASSERT_DOUBLE_EQ(v, 2.5) << to_string(k);
+  }
+}
+
+TEST(Edge, RepeatedElementWithinOneIteration) {
+  // Iteration 0 updates element 3 twice, element 1 once.
+  const auto in = explicit_input(8, {{3, 1, 3}, {3, 3, 3}});
+  const auto ref = reference(in);
+  for (SchemeKind k : candidate_scheme_kinds()) {
+    std::vector<double> out(8, 0.0);
+    make_scheme(k)->run(in, pool3(), out);
+    for (std::size_t e = 0; e < 8; ++e)
+      ASSERT_NEAR(ref[e], out[e], 1e-12) << to_string(k) << " e=" << e;
+  }
+}
+
+TEST(Edge, SingleElementFullContention) {
+  std::vector<std::vector<std::uint32_t>> iters(500, {0u});
+  const auto in = explicit_input(1, std::move(iters));
+  const auto ref = reference(in);
+  for (SchemeKind k : candidate_scheme_kinds()) {
+    std::vector<double> out(1, 0.0);
+    make_scheme(k)->run(in, pool3(), out);
+    ASSERT_NEAR(ref[0], out[0], 1e-9) << to_string(k);
+  }
+}
+
+TEST(Edge, MoreThreadsThanIterations) {
+  const auto in = explicit_input(16, {{1, 2}, {3}, {5, 5}});
+  const auto ref = reference(in);
+  ThreadPool pool(7);
+  for (SchemeKind k : candidate_scheme_kinds()) {
+    std::vector<double> out(16, 0.0);
+    make_scheme(k)->run(in, pool, out);
+    for (std::size_t e = 0; e < 16; ++e)
+      ASSERT_NEAR(ref[e], out[e], 1e-12) << to_string(k);
+  }
+}
+
+TEST(Edge, LinkedBufferReuseWithDifferentOutputs) {
+  const auto in = explicit_input(64, {{1, 5}, {5, 9}, {9, 1}, {30, 31}});
+  const auto ref = reference(in);
+  LinkedScheme<> ll;
+  const auto plan = ll.plan(in.pattern, pool3().size());
+  for (int round = 0; round < 4; ++round) {
+    std::vector<double> out(64, static_cast<double>(round));
+    ll.execute(plan.get(), in, pool3(), out);
+    for (std::size_t e = 0; e < 64; ++e)
+      ASSERT_NEAR(ref[e] + round, out[e], 1e-12) << "round " << round;
+  }
+}
+
+TEST(Edge, PrivateBytesStructure) {
+  const auto in = explicit_input(
+      4096, std::vector<std::vector<std::uint32_t>>(512, {7, 2048}));
+  ThreadPool pool(4);
+  std::vector<double> out(in.pattern.dim, 0.0);
+  const auto rep = make_scheme(SchemeKind::kRep)->run(in, pool, out);
+  std::fill(out.begin(), out.end(), 0.0);
+  const auto ll = make_scheme(SchemeKind::kLinked)->run(in, pool, out);
+  std::fill(out.begin(), out.end(), 0.0);
+  const auto lw = make_scheme(SchemeKind::kLocalWrite)->run(in, pool, out);
+  // ll carries values + links: 1.5x rep's doubles.
+  EXPECT_EQ(ll.private_bytes, rep.private_bytes * 3 / 2);
+  // lw's footprint is iteration lists only, far below either.
+  EXPECT_LT(lw.private_bytes, rep.private_bytes / 4);
+}
+
+TEST(Edge, LwOwnerPartitionCoversRange) {
+  for (unsigned P : {1u, 2u, 3u, 8u}) {
+    const std::size_t dim = 1000;
+    std::vector<std::size_t> count(P, 0);
+    for (std::size_t e = 0; e < dim; ++e) {
+      const unsigned o = LocalWriteScheme<>::owner_of(e, dim, P);
+      ASSERT_LT(o, P);
+      ++count[o];
+    }
+    // Block partition: each owner's share within one block size.
+    const std::size_t blk = (dim + P - 1) / P;
+    for (unsigned t = 0; t < P; ++t) EXPECT_LE(count[t], blk);
+  }
+}
+
+TEST(Edge, SequentialSchemeIsExactReference) {
+  const auto in = explicit_input(32, {{1, 2, 3}, {3, 2, 1}, {0, 31}});
+  const auto ref = reference(in);
+  std::vector<double> out(32, 0.0);
+  make_scheme(SchemeKind::kSeq)->run(in, pool3(), out);
+  for (std::size_t e = 0; e < 32; ++e)
+    ASSERT_DOUBLE_EQ(ref[e], out[e]);  // identical order -> bit equal
+}
+
+TEST(Edge, IterationScaleDeterministicAndBounded) {
+  for (unsigned flops : {0u, 1u, 16u, 64u}) {
+    for (std::uint64_t i : {0ull, 1ull, 1023ull, 1024ull, 999999ull}) {
+      const double a = iteration_scale(i, flops);
+      const double b = iteration_scale(i, flops);
+      EXPECT_EQ(a, b);
+      EXPECT_GT(a, 0.0);
+      EXPECT_LT(a, 4.0);
+    }
+  }
+}
+
+TEST(Edge, RunValidatesArguments) {
+  const auto in = explicit_input(8, {{1}});
+  std::vector<double> wrong_size(4, 0.0);
+  EXPECT_DEATH(make_scheme(SchemeKind::kRep)->run(in, pool3(), wrong_size),
+               "output size");
+  ReductionInput bad = in;
+  bad.values.pop_back();
+  std::vector<double> out(8, 0.0);
+  EXPECT_DEATH(make_scheme(SchemeKind::kRep)->run(bad, pool3(), out),
+               "mismatch");
+}
+
+TEST(Edge, ExecuteRequiresMatchingPlan) {
+  const auto in = explicit_input(8, {{1}, {2}});
+  const auto sel = make_scheme(SchemeKind::kSelective);
+  const auto plan2 = sel->plan(in.pattern, 2);
+  ThreadPool pool4(4);
+  std::vector<double> out(8, 0.0);
+  EXPECT_DEATH(sel->execute(plan2.get(), in, pool4, out),
+               "different thread count");
+}
+
+TEST(Edge, LwRefusesIllegalPattern) {
+  auto in = explicit_input(8, {{1}, {2}});
+  in.pattern.iteration_replication_legal = false;
+  const auto lw = make_scheme(SchemeKind::kLocalWrite);
+  EXPECT_FALSE(lw->applicable(in.pattern));
+  std::vector<double> out(8, 0.0);
+  EXPECT_DEATH(lw->run(in, pool3(), out), "not legal");
+}
+
+}  // namespace
+}  // namespace sapp

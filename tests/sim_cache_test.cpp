@@ -1,0 +1,85 @@
+// Unit tests for the set-associative cache model.
+#include <gtest/gtest.h>
+
+#include "sim/cache.hpp"
+
+namespace sapp::sim {
+namespace {
+
+TEST(SimCache, MissThenHit) {
+  Cache c(1024, 2, 64);  // 8 sets x 2 ways
+  EXPECT_EQ(c.find(0), nullptr);
+  c.evict_and_install(0, LineState::kShared);
+  ASSERT_NE(c.find(0), nullptr);
+  EXPECT_EQ(c.find(0)->state, LineState::kShared);
+}
+
+TEST(SimCache, LineOfMasksOffset) {
+  Cache c(1024, 2, 64);
+  EXPECT_EQ(c.line_of(0), 0u);
+  EXPECT_EQ(c.line_of(63), 0u);
+  EXPECT_EQ(c.line_of(64), 64u);
+  EXPECT_EQ(c.line_of(130), 128u);
+}
+
+TEST(SimCache, SetConflictEvictsLru) {
+  Cache c(1024, 2, 64);  // 8 sets: addresses 64*8 apart collide
+  const Addr a = 0, b = 8 * 64, d = 16 * 64;
+  c.evict_and_install(a, LineState::kShared);
+  c.evict_and_install(b, LineState::kShared);
+  ASSERT_NE(c.find(a), nullptr);  // touch a: b becomes LRU
+  CacheLine victim = c.evict_and_install(d, LineState::kShared);
+  EXPECT_TRUE(victim.valid());
+  EXPECT_EQ(victim.line_addr, b);
+  EXPECT_NE(c.find(a), nullptr);
+  EXPECT_EQ(c.find(b), nullptr);
+  EXPECT_NE(c.find(d), nullptr);
+}
+
+TEST(SimCache, PrefersInvalidFrameOverEviction) {
+  Cache c(1024, 2, 64);
+  c.evict_and_install(0, LineState::kDirty);
+  CacheLine victim = c.evict_and_install(8 * 64, LineState::kShared);
+  EXPECT_FALSE(victim.valid());  // second way was free
+  EXPECT_NE(c.find(0), nullptr);
+  EXPECT_NE(c.find(8 * 64), nullptr);
+}
+
+TEST(SimCache, InvalidateReturnsContent) {
+  Cache c(1024, 2, 64);
+  c.evict_and_install(64, LineState::kReduction);
+  c.find(64)->data[3] = 7.5;
+  CacheLine out = c.invalidate(64);
+  EXPECT_EQ(out.state, LineState::kReduction);
+  EXPECT_DOUBLE_EQ(out.data[3], 7.5);
+  EXPECT_EQ(c.find(64), nullptr);
+  // Invalidating a missing line returns an invalid frame.
+  EXPECT_FALSE(c.invalidate(64).valid());
+}
+
+TEST(SimCache, ForEachVisitsOnlyValid) {
+  Cache c(2048, 4, 64);
+  c.evict_and_install(0, LineState::kShared);
+  c.evict_and_install(64, LineState::kReduction);
+  c.evict_and_install(128, LineState::kDirty);
+  c.invalidate(64);
+  int count = 0;
+  c.for_each([&](CacheLine&) { ++count; });
+  EXPECT_EQ(count, 2);
+}
+
+TEST(SimCache, DataZeroedOnInstall) {
+  Cache c(1024, 2, 64);
+  c.evict_and_install(0, LineState::kReduction);
+  c.find(0)->data[0] = 42.0;
+  c.invalidate(0);
+  c.evict_and_install(0, LineState::kReduction);
+  EXPECT_DOUBLE_EQ(c.find(0)->data[0], 0.0);  // neutral fill
+}
+
+TEST(SimCache, RejectsNonPowerOfTwoSets) {
+  EXPECT_DEATH(Cache(3 * 2 * 64, 2, 64), "power of two");  // 3 sets
+}
+
+}  // namespace
+}  // namespace sapp::sim

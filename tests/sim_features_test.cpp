@@ -1,0 +1,186 @@
+// Tests for the advanced PCLR features: shadow-address differentiation
+// (§5.1.5), configurable combine operations and OS preemption handling
+// (§5.1.4), and input page-placement policies.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/codegen.hpp"
+#include "workloads/workload.hpp"
+
+namespace sapp::sim {
+namespace {
+
+using workloads::Workload;
+
+Workload small_workload(std::uint64_t seed = 5) {
+  workloads::SynthParams p;
+  p.dim = 4096;
+  p.distinct = 1600;
+  p.iterations = 2500;
+  p.refs_per_iter = 2;
+  p.seed = seed;
+  Workload w;
+  w.app = "synth";
+  w.input = workloads::make_synthetic(p);
+  w.instr_per_iter = 40;
+  return w;
+}
+
+// ---------------- shadow addressing (§5.1.5) ----------------
+
+TEST(ShadowAddresses, HelpersRoundTrip) {
+  const Addr a = AddressMap::w_elem(1234);
+  const Addr sh = AddressMap::shadow_of(a);
+  EXPECT_TRUE(AddressMap::is_shadow(sh));
+  EXPECT_FALSE(AddressMap::is_shadow(a));
+  EXPECT_EQ(AddressMap::unshadow(sh), a);
+  EXPECT_TRUE(AddressMap::is_w(sh));  // still the reduction array
+}
+
+TEST(ShadowAddresses, ProducesSameValuesAsSpecialInstructions) {
+  const Workload w = small_workload();
+  std::vector<double> special(w.input.pattern.dim, 0.0);
+  std::vector<double> shadow(w.input.pattern.dim, 0.0);
+
+  auto cfg = MachineConfig::paper(4);
+  simulate_reduction(w, Mode::kHw, cfg, special);
+  cfg.shadow_addresses = true;
+  simulate_reduction(w, Mode::kHw, cfg, shadow);
+
+  for (std::size_t e = 0; e < special.size(); ++e)
+    ASSERT_DOUBLE_EQ(special[e], shadow[e]) << e;
+}
+
+TEST(ShadowAddresses, MatchesSequentialReference) {
+  const Workload w = small_workload(9);
+  std::vector<double> ref(w.input.pattern.dim, 0.0);
+  run_sequential(w.input, ref);
+  std::vector<double> got(w.input.pattern.dim, 0.0);
+  auto cfg = MachineConfig::paper(8);
+  cfg.shadow_addresses = true;
+  simulate_reduction(w, Mode::kFlex, cfg, got);
+  for (std::size_t e = 0; e < ref.size(); e += 31)
+    ASSERT_NEAR(ref[e], got[e], 1e-9);
+}
+
+TEST(ShadowAddresses, SimilarTimingToSpecialInstructions) {
+  // The paper presents the two mechanisms as equivalent; the simulated
+  // costs should be close (same fills, same combines).
+  const Workload w = small_workload();
+  auto cfg = MachineConfig::paper(4);
+  const auto special = simulate_reduction(w, Mode::kHw, cfg);
+  cfg.shadow_addresses = true;
+  const auto shadow = simulate_reduction(w, Mode::kHw, cfg);
+  EXPECT_EQ(special.counters.red_fills, shadow.counters.red_fills);
+  EXPECT_EQ(special.counters.combines, shadow.counters.combines);
+  EXPECT_NEAR(static_cast<double>(shadow.total_cycles),
+              static_cast<double>(special.total_cycles),
+              0.05 * static_cast<double>(special.total_cycles));
+}
+
+// ---------------- configurable combine operation (§5.1.4) ----------------
+
+TEST(CombineOp, MaxReductionThroughTheDirectory) {
+  // Two processors accumulate max-partials into the same element.
+  auto cfg = MachineConfig::paper(2);
+  cfg.metadata_loads = false;
+  cfg.combine_op = MachineConfig::CombineOp::kMax;
+  Machine m(cfg, Mode::kHw, 64);
+
+  auto mk = [&](double v) {
+    std::vector<Op> ops;
+    ops.push_back({.kind = Op::Kind::kLoadRed, .addr = 16});
+    ops.push_back({.kind = Op::Kind::kStoreRed, .addr = 16, .value = v});
+    ops.push_back({.kind = Op::Kind::kFlush});
+    ops.push_back({.kind = Op::Kind::kBarrier, .label = "merge"});
+    return ops;
+  };
+  std::vector<std::unique_ptr<TraceCursor>> cs;
+  cs.push_back(std::make_unique<VectorCursor>(mk(3.5)));
+  cs.push_back(std::make_unique<VectorCursor>(mk(7.25)));
+  m.run(std::move(cs));
+  EXPECT_DOUBLE_EQ(m.w_memory()[2], 7.25);
+  // Untouched elements: combining the neutral element (-inf) left memory's
+  // initial 0.0 unchanged only under max(0, -inf) = 0.
+  EXPECT_DOUBLE_EQ(m.w_memory()[0], 0.0);
+}
+
+TEST(CombineOp, MinReduction) {
+  auto cfg = MachineConfig::paper(1);
+  cfg.metadata_loads = false;
+  cfg.combine_op = MachineConfig::CombineOp::kMin;
+  Machine m(cfg, Mode::kHw, 64);
+  std::vector<Op> ops;
+  ops.push_back({.kind = Op::Kind::kLoadRed, .addr = 0});
+  ops.push_back({.kind = Op::Kind::kStoreRed, .addr = 0, .value = -2.5});
+  ops.push_back({.kind = Op::Kind::kStoreRed, .addr = 0, .value = 4.0});
+  ops.push_back({.kind = Op::Kind::kFlush});
+  ops.push_back({.kind = Op::Kind::kBarrier, .label = "merge"});
+  std::vector<std::unique_ptr<TraceCursor>> cs;
+  cs.push_back(std::make_unique<VectorCursor>(std::move(ops)));
+  m.run(std::move(cs));
+  EXPECT_DOUBLE_EQ(m.w_memory()[0], -2.5);
+}
+
+// ---------------- preemption (§5.1.4) ----------------
+
+TEST(Preemption, FlushesReductionDataAndStaysCorrect) {
+  auto cfg = MachineConfig::paper(1);
+  cfg.metadata_loads = false;
+  Machine m(cfg, Mode::kHw, 64);
+  std::vector<Op> ops;
+  ops.push_back({.kind = Op::Kind::kLoadRed, .addr = 0});
+  ops.push_back({.kind = Op::Kind::kStoreRed, .addr = 0, .value = 1.0});
+  // The OS preempts the process mid-loop: reduction data must be flushed.
+  ops.push_back({.kind = Op::Kind::kPreempt});
+  ops.push_back({.kind = Op::Kind::kLoadRed, .addr = 0});
+  ops.push_back({.kind = Op::Kind::kStoreRed, .addr = 0, .value = 2.0});
+  ops.push_back({.kind = Op::Kind::kFlush});
+  ops.push_back({.kind = Op::Kind::kBarrier, .label = "merge"});
+  std::vector<std::unique_ptr<TraceCursor>> cs;
+  cs.push_back(std::make_unique<VectorCursor>(std::move(ops)));
+  const auto r = m.run(std::move(cs));
+  EXPECT_DOUBLE_EQ(m.w_memory()[0], 3.0);
+  // Two fills (one before, one after the preemption) and two combined
+  // line-copies.
+  EXPECT_EQ(r.counters.red_fills, 2u);
+  EXPECT_EQ(r.counters.red_lines_flushed, 2u);
+  EXPECT_GE(r.total_cycles, cfg.preempt_cycles);
+}
+
+// ---------------- input placement policies ----------------
+
+TEST(InputPlacement, PoliciesChangeLoopCost) {
+  // Input-heavy loop (Nbf-like: hundreds of bytes of pair list per
+  // iteration) so the input stream dominates and placement matters.
+  Workload w = small_workload(3);
+  w.input_bytes_per_iter = 400;
+  w.instr_per_iter = 60;
+  auto base = MachineConfig::paper(8);
+
+  auto loop_cycles = [&](MachineConfig::InputPlacement pl) {
+    MachineConfig cfg = base;
+    cfg.input_placement = pl;
+    return simulate_reduction(w, Mode::kHw, cfg).phase("loop");
+  };
+  const auto master = loop_cycles(MachineConfig::InputPlacement::kMaster);
+  const auto rr = loop_cycles(MachineConfig::InputPlacement::kRoundRobin);
+  const auto local = loop_cycles(MachineConfig::InputPlacement::kReaderLocal);
+  // Master-homed inputs serialize at node 0; reader-local is cheapest.
+  EXPECT_GT(master, rr);
+  EXPECT_GE(rr, local);
+}
+
+TEST(InputPlacement, SequentialUnaffected) {
+  const Workload w = small_workload(4);
+  auto cfg = MachineConfig::paper(4);
+  cfg.input_placement = MachineConfig::InputPlacement::kMaster;
+  const auto a = simulate_reduction(w, Mode::kSeq, cfg).total_cycles;
+  cfg.input_placement = MachineConfig::InputPlacement::kReaderLocal;
+  const auto b = simulate_reduction(w, Mode::kSeq, cfg).total_cycles;
+  EXPECT_EQ(a, b);  // one processor: every policy is "local"
+}
+
+}  // namespace
+}  // namespace sapp::sim

@@ -1,0 +1,246 @@
+// Protocol-level tests of the CC-NUMA machine and the PCLR extension,
+// driven by hand-built op vectors.
+#include <gtest/gtest.h>
+
+#include "sim/machine.hpp"
+
+namespace sapp::sim {
+namespace {
+
+MachineConfig small_config(unsigned nodes) {
+  MachineConfig c = MachineConfig::paper(nodes);
+  c.l1_bytes = 1024;
+  c.l2_bytes = 4096;  // 16 lines: easy to overflow
+  c.l2_assoc = 2;
+  c.metadata_loads = false;
+  c.barrier_base_cycles = 0;  // protocol tests look at pure memory costs
+  return c;
+}
+
+Op load(Addr a) { return Op{.kind = Op::Kind::kLoad, .addr = a}; }
+Op store(Addr a) { return Op{.kind = Op::Kind::kStore, .addr = a}; }
+Op loadred(Addr a) { return Op{.kind = Op::Kind::kLoadRed, .addr = a}; }
+Op storered(Addr a, double v) {
+  return Op{.kind = Op::Kind::kStoreRed, .addr = a, .value = v};
+}
+Op barrier(const char* l) { return Op{.kind = Op::Kind::kBarrier, .label = l}; }
+Op flushop() { return Op{.kind = Op::Kind::kFlush}; }
+
+std::vector<std::unique_ptr<TraceCursor>> cursors(
+    std::vector<std::vector<Op>> per_proc) {
+  std::vector<std::unique_ptr<TraceCursor>> cs;
+  for (auto& ops : per_proc)
+    cs.push_back(std::make_unique<VectorCursor>(std::move(ops)));
+  return cs;
+}
+
+TEST(SimMachine, LocalMissCostsRoughlyLocalRoundTrip) {
+  auto cfg = small_config(1);
+  Machine m(cfg, Mode::kSeq, 64);
+  // Two loads of the same line: one miss, one L1 hit.
+  auto r = m.run(cursors({{load(0), load(8), barrier("loop")}}));
+  EXPECT_EQ(r.counters.local_misses, 1u);
+  EXPECT_EQ(r.counters.l1_hits, 1u);
+  // The barrier waits for the outstanding miss: >= base round trip.
+  EXPECT_GE(r.total_cycles, cfg.local_round_trip);
+  EXPECT_LT(r.total_cycles, 2u * cfg.local_round_trip);
+}
+
+TEST(SimMachine, RemoteMissCostsMore) {
+  auto cfg = small_config(2);
+  // Proc 1 touches the page first (its home), then proc 0 misses remotely.
+  Machine m(cfg, Mode::kSw, 64);
+  auto r = m.run(cursors({
+      {barrier("warm"), load(0), barrier("loop")},
+      {load(0), barrier("warm"), barrier("loop")},
+  }));
+  EXPECT_EQ(r.counters.remote_misses, 1u);
+  EXPECT_GE(r.counters.local_misses, 1u);
+}
+
+TEST(SimMachine, DirtyRecallOnRemoteRead) {
+  auto cfg = small_config(2);
+  Machine m(cfg, Mode::kSw, 64);
+  // Proc 0 writes line 0 (dirty exclusive); proc 1 then reads it.
+  auto r = m.run(cursors({
+      {store(0), barrier("w"), barrier("r")},
+      {barrier("w"), load(0), barrier("r")},
+  }));
+  EXPECT_EQ(r.counters.recalls, 1u);
+  const DirEntry* e = m.directory().peek(0);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->state, DirState::kShared);  // downgraded after intervention
+}
+
+TEST(SimMachine, StoreInvalidatesSharers) {
+  auto cfg = small_config(4);
+  Machine m(cfg, Mode::kSw, 64);
+  // Three procs read the line; proc 3 writes it.
+  auto r = m.run(cursors({
+      {load(0), barrier("rd"), barrier("wr")},
+      {load(0), barrier("rd"), barrier("wr")},
+      {load(0), barrier("rd"), barrier("wr")},
+      {barrier("rd"), store(0), barrier("wr")},
+  }));
+  EXPECT_GE(r.counters.invalidations, 3u);
+  const DirEntry* e = m.directory().peek(0);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->state, DirState::kExclusive);
+  EXPECT_EQ(e->owner, 3u);
+}
+
+TEST(SimMachine, PclrAccumulatesIntoMemoryOnFlush) {
+  auto cfg = small_config(2);
+  Machine m(cfg, Mode::kHw, 64);
+  // Both procs accumulate into element 2 (addr 16), then flush.
+  auto r = m.run(cursors({
+      {loadred(16), storered(16, 1.25), flushop(), barrier("merge")},
+      {loadred(16), storered(16, 2.5), flushop(), barrier("merge")},
+  }));
+  EXPECT_EQ(r.counters.red_fills, 2u);
+  EXPECT_EQ(r.counters.red_lines_flushed, 2u);
+  EXPECT_DOUBLE_EQ(m.w_memory()[2], 3.75);
+  // Untouched elements of the combined lines stay neutral.
+  EXPECT_DOUBLE_EQ(m.w_memory()[0], 0.0);
+  EXPECT_DOUBLE_EQ(m.w_memory()[3], 0.0);
+}
+
+TEST(SimMachine, PclrNeutralFillIsLocalAndCheap) {
+  auto cfg = small_config(2);
+  Machine hw(cfg, Mode::kHw, 64);
+  auto r = hw.run(cursors({
+      {loadred(0), barrier("loop")},
+      {barrier("loop")},
+  }));
+  EXPECT_EQ(r.counters.red_fills, 1u);
+  EXPECT_EQ(r.counters.local_misses + r.counters.remote_misses, 0u);
+  EXPECT_LE(r.total_cycles, cfg.local_round_trip);
+}
+
+TEST(SimMachine, PclrDisplacementCombinesInBackground) {
+  auto cfg = small_config(1);
+  // L2 = 4096 B / 64 = 64 frames, 2-way: touching 100 distinct reduction
+  // lines must displace some.
+  std::vector<Op> ops;
+  const std::size_t lines = 100;
+  for (std::size_t i = 0; i < lines; ++i) {
+    ops.push_back(loadred(i * 64));
+    ops.push_back(storered(i * 64, 1.0));
+  }
+  ops.push_back(flushop());
+  ops.push_back(barrier("merge"));
+  Machine m(cfg, Mode::kHw, lines * 8);
+  auto r = m.run(cursors({std::move(ops)}));
+  EXPECT_GT(r.counters.red_lines_displaced, 0u);
+  EXPECT_EQ(r.counters.red_lines_displaced + r.counters.red_lines_flushed,
+            lines);
+  // Every contribution must land in memory exactly once.
+  for (std::size_t i = 0; i < lines; ++i)
+    EXPECT_DOUBLE_EQ(m.w_memory()[i * 8], 1.0) << "line " << i;
+}
+
+TEST(SimMachine, FirstRedWritebackRecallsDirtyPlainCopy) {
+  auto cfg = small_config(2);
+  Machine m(cfg, Mode::kHw, 64);
+  // Proc 0 holds line 0 dirty (plain). Proc 1 accumulates into the same
+  // line via PCLR and flushes: the home must recall proc 0's copy first.
+  auto r = m.run(cursors({
+      {store(0), barrier("w"), barrier("f")},
+      {barrier("w"), loadred(0), storered(0, 1.0), flushop(),
+       barrier("f")},
+  }));
+  EXPECT_GE(r.counters.recalls, 1u);
+  EXPECT_DOUBLE_EQ(m.w_memory()[0], 1.0);
+}
+
+TEST(SimMachine, RedLoadHitOnPlainDirtyLineWritesBackFirst) {
+  auto cfg = small_config(1);
+  Machine m(cfg, Mode::kHw, 64);
+  auto r = m.run(cursors({
+      {store(0), loadred(0), storered(0, 2.0), flushop(), barrier("f")},
+  }));
+  // §5.1.2: the plain dirty line is written back, invalidated, then the
+  // reduction miss proceeds.
+  EXPECT_GE(r.counters.writebacks_plain, 1u);
+  EXPECT_EQ(r.counters.red_fills, 1u);
+  EXPECT_DOUBLE_EQ(m.w_memory()[0], 2.0);
+}
+
+TEST(SimMachine, FlexChargesHigherOccupancyThanHw) {
+  auto mk_ops = [] {
+    std::vector<Op> ops;
+    for (std::size_t i = 0; i < 60; ++i) {
+      ops.push_back(loadred(i * 64));
+      ops.push_back(storered(i * 64, 1.0));
+    }
+    ops.push_back(flushop());
+    ops.push_back(barrier("merge"));
+    return ops;
+  };
+  auto cfg = small_config(1);
+  Machine hw(cfg, Mode::kHw, 60 * 8);
+  auto rh = hw.run(cursors({mk_ops()}));
+  Machine fx(cfg, Mode::kFlex, 60 * 8);
+  auto rf = fx.run(cursors({mk_ops()}));
+  EXPECT_GT(rf.total_cycles, rh.total_cycles);
+  EXPECT_DOUBLE_EQ(fx.w_memory()[0], hw.w_memory()[0]);  // same values
+}
+
+TEST(SimMachine, BarrierSeparatesPhases) {
+  auto cfg = small_config(2);
+  Machine m(cfg, Mode::kSw, 64);
+  auto r = m.run(cursors({
+      {load(0), barrier("init"), load(4096), barrier("loop")},
+      {barrier("init"), barrier("loop")},
+  }));
+  EXPECT_GT(r.phase_cycles.at("init"), 0u);
+  EXPECT_GT(r.phase_cycles.at("loop"), 0u);
+  EXPECT_EQ(r.total_cycles,
+            r.phase_cycles.at("init") + r.phase_cycles.at("loop"));
+}
+
+TEST(SimMachine, DeterministicAcrossRuns) {
+  auto mk = [] {
+    std::vector<std::vector<Op>> pp(4);
+    for (unsigned p = 0; p < 4; ++p) {
+      for (int i = 0; i < 50; ++i) {
+        pp[p].push_back(load((i * 4 + p) * 64));
+        pp[p].push_back(store((i * 4 + p) * 64));
+      }
+      pp[p].push_back(barrier("loop"));
+    }
+    return pp;
+  };
+  auto cfg = small_config(4);
+  Machine a(cfg, Mode::kSw, 8192);
+  Machine b(cfg, Mode::kSw, 8192);
+  auto ra = a.run(cursors(mk()));
+  auto rb = b.run(cursors(mk()));
+  EXPECT_EQ(ra.total_cycles, rb.total_cycles);
+  EXPECT_EQ(ra.counters.local_misses, rb.counters.local_misses);
+  EXPECT_EQ(ra.counters.remote_misses, rb.counters.remote_misses);
+}
+
+TEST(SimMachine, DirectoryContentionDelaysConcurrentMisses) {
+  // Many procs missing to the same home must queue on its controller.
+  auto run_with = [&](unsigned nodes) {
+    auto cfg = small_config(nodes);
+    std::vector<std::vector<Op>> pp(nodes);
+    // Proc 0 first-touches the pages (becomes home), then everyone reads
+    // distinct lines of that page.
+    for (unsigned p = 0; p < nodes; ++p) {
+      if (p == 0) pp[p].push_back(load(0));
+      pp[p].push_back(barrier("home"));
+      for (int i = 0; i < 8; ++i)
+        pp[p].push_back(load((1 + i * nodes + p) * 64));
+      pp[p].push_back(barrier("loop"));
+    }
+    Machine m(cfg, Mode::kSw, 4096);
+    return m.run(cursors(std::move(pp))).phase_cycles.at("loop");
+  };
+  // More requesters -> more queueing at the single home.
+  EXPECT_GT(run_with(8), run_with(2));
+}
+
+}  // namespace
+}  // namespace sapp::sim

@@ -1,0 +1,188 @@
+// Deeper protocol scenarios for the CC-NUMA machine: directory state
+// transitions, MSHR/store-buffer backpressure, non-coherence of reduction
+// lines, inclusion, and background-combine quiescence.
+#include <gtest/gtest.h>
+
+#include "sim/machine.hpp"
+
+namespace sapp::sim {
+namespace {
+
+MachineConfig tiny(unsigned nodes) {
+  MachineConfig c = MachineConfig::paper(nodes);
+  c.l1_bytes = 512;   // 8 lines
+  c.l2_bytes = 2048;  // 32 frames, 2-way -> 16 sets
+  c.l2_assoc = 2;
+  c.metadata_loads = false;
+  c.barrier_base_cycles = 0;
+  return c;
+}
+
+Op load(Addr a) { return Op{.kind = Op::Kind::kLoad, .addr = a}; }
+Op store(Addr a) { return Op{.kind = Op::Kind::kStore, .addr = a}; }
+Op loadred(Addr a) { return Op{.kind = Op::Kind::kLoadRed, .addr = a}; }
+Op storered(Addr a, double v) {
+  return Op{.kind = Op::Kind::kStoreRed, .addr = a, .value = v};
+}
+Op barrier(const char* l) { return Op{.kind = Op::Kind::kBarrier, .label = l}; }
+
+std::vector<std::unique_ptr<TraceCursor>> cursors(
+    std::vector<std::vector<Op>> per_proc) {
+  std::vector<std::unique_ptr<TraceCursor>> cs;
+  for (auto& ops : per_proc)
+    cs.push_back(std::make_unique<VectorCursor>(std::move(ops)));
+  return cs;
+}
+
+TEST(Protocol, WritebackMakesMemoryCurrentNoRecallAfter) {
+  // Proc 0 dirties a line, then evicts it by conflict; proc 1's later read
+  // must NOT need a recall (memory is current after the write-back).
+  auto cfg = tiny(2);
+  Machine m(cfg, Mode::kSw, 64);
+  std::vector<Op> p0;
+  p0.push_back(store(0));
+  // Two more lines in the same set evict line 0 (16 sets, 64 B lines:
+  // stride must respect the hashed index — use invalidate-free approach:
+  // plenty of conflicting lines).
+  for (int k = 1; k <= 40; ++k) p0.push_back(store(k * 64));
+  p0.push_back(barrier("w"));
+  p0.push_back(barrier("r"));
+  std::vector<Op> p1{barrier("w"), load(0), barrier("r")};
+  auto r = m.run(cursors({std::move(p0), std::move(p1)}));
+  EXPECT_GT(r.counters.writebacks_plain, 0u);
+  // The dir entry for line 0 is Shared with p1 (after its read) or was
+  // Uncached before it; no recall should have been necessary if line 0 was
+  // among the written-back ones.
+  const DirEntry* e = m.directory().peek(0);
+  ASSERT_NE(e, nullptr);
+  EXPECT_NE(e->state, DirState::kExclusive);
+}
+
+TEST(Protocol, UpgradeOnStoreToSharedLine) {
+  auto cfg = tiny(2);
+  Machine m(cfg, Mode::kSw, 64);
+  // Both read (Shared, 2 sharers), then proc 0 stores -> invalidation.
+  auto r = m.run(cursors({
+      {load(0), barrier("rd"), store(0), barrier("wr")},
+      {load(0), barrier("rd"), barrier("wr")},
+  }));
+  EXPECT_GE(r.counters.invalidations, 1u);
+  const DirEntry* e = m.directory().peek(0);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->state, DirState::kExclusive);
+  EXPECT_EQ(e->owner, 0u);
+}
+
+TEST(Protocol, ReductionLinesAreNonCoherent) {
+  // Both procs hold reduction copies of the same line at once: no
+  // invalidations, no recalls — the essence of §5.1.1's reduction state.
+  auto cfg = tiny(2);
+  Machine m(cfg, Mode::kHw, 64);
+  auto r = m.run(cursors({
+      {loadred(0), storered(0, 1.0), barrier("x")},
+      {loadred(0), storered(0, 2.0), barrier("x")},
+  }));
+  EXPECT_EQ(r.counters.invalidations, 0u);
+  EXPECT_EQ(r.counters.recalls, 0u);
+  EXPECT_EQ(r.counters.red_fills, 2u);
+}
+
+TEST(Protocol, L2EvictionBackInvalidatesL1) {
+  // After line 0 is evicted from L2 by conflicts, a re-access must be a
+  // fresh global miss (the L1 tag cannot linger).
+  auto cfg = tiny(1);
+  Machine m(cfg, Mode::kSw, 64);
+  std::vector<Op> ops;
+  ops.push_back(load(0));
+  for (int k = 1; k <= 64; ++k) ops.push_back(load(k * 64));
+  ops.push_back(load(0));
+  ops.push_back(barrier("x"));
+  auto r = m.run(cursors({std::move(ops)}));
+  // 66 loads, all distinct lines except the repeat; if the L1 tag had
+  // survived, misses would be 65.
+  EXPECT_EQ(r.counters.local_misses, 66u);
+}
+
+TEST(Protocol, LoadMshrBackpressureSlowsMissStreams) {
+  auto run_with = [&](unsigned slots) {
+    auto cfg = tiny(1);
+    cfg.pending_loads = slots;
+    Machine m(cfg, Mode::kSw, 64);
+    std::vector<Op> ops;
+    for (int k = 0; k < 200; ++k) ops.push_back(load(k * 64));
+    ops.push_back(barrier("x"));
+    return m.run(cursors({std::move(ops)})).total_cycles;
+  };
+  EXPECT_GT(run_with(1), run_with(8));
+}
+
+TEST(Protocol, StoreBufferBackpressureSlowsStoreStreams) {
+  auto run_with = [&](unsigned slots) {
+    auto cfg = tiny(1);
+    cfg.pending_stores = slots;
+    Machine m(cfg, Mode::kSw, 64);
+    std::vector<Op> ops;
+    for (int k = 0; k < 200; ++k) ops.push_back(store(k * 64));
+    ops.push_back(barrier("x"));
+    return m.run(cursors({std::move(ops)})).total_cycles;
+  };
+  EXPECT_GT(run_with(1), run_with(16));
+}
+
+TEST(Protocol, BackgroundCombineDelaysBarrier) {
+  // A slow FP unit stretches the post-loop barrier (combines must finish).
+  auto run_with = [&](unsigned ii) {
+    auto cfg = tiny(1);
+    cfg.fp_initiation = ii;
+    Machine m(cfg, Mode::kHw, 2048);
+    std::vector<Op> ops;
+    for (int k = 0; k < 100; ++k) {
+      ops.push_back(loadred(k * 64));
+      ops.push_back(storered(k * 64, 1.0));
+    }
+    ops.push_back(Op{.kind = Op::Kind::kFlush});
+    ops.push_back(barrier("merge"));
+    return m.run(cursors({std::move(ops)})).total_cycles;
+  };
+  EXPECT_GT(run_with(30), run_with(3));
+}
+
+TEST(Protocol, FirstTouchAssignsDistinctHomes) {
+  // Two procs touching different pages produce only local misses.
+  auto cfg = tiny(2);
+  Machine m(cfg, Mode::kSw, 4096);
+  auto r = m.run(cursors({
+      {load(0), load(64), barrier("x")},
+      {load(8192), load(8256), barrier("x")},  // a different page
+  }));
+  EXPECT_EQ(r.counters.remote_misses, 0u);
+  EXPECT_EQ(r.counters.local_misses, 4u);
+}
+
+TEST(Protocol, VectorCursorEndsForever) {
+  VectorCursor c({load(0)});
+  EXPECT_EQ(c.next().kind, Op::Kind::kLoad);
+  EXPECT_EQ(c.next().kind, Op::Kind::kEnd);
+  EXPECT_EQ(c.next().kind, Op::Kind::kEnd);
+}
+
+TEST(Protocol, RejectsTooManyNodes) {
+  EXPECT_DEATH(Machine(MachineConfig::paper(33), Mode::kSw, 16),
+               "32 nodes");
+}
+
+TEST(Protocol, RejectsOversizedLines) {
+  auto cfg = MachineConfig::paper(1);
+  cfg.line_bytes = 256;
+  EXPECT_DEATH(Machine(cfg, Mode::kSw, 16), "data capacity");
+}
+
+TEST(Protocol, MismatchedCursorCountDies) {
+  Machine m(tiny(2), Mode::kSw, 16);
+  std::vector<std::unique_ptr<TraceCursor>> one;
+  one.push_back(std::make_unique<VectorCursor>(std::vector<Op>{}));
+  EXPECT_DEATH(m.run(std::move(one)), "one cursor per node");
+}
+
+}  // namespace
+}  // namespace sapp::sim

@@ -1,0 +1,289 @@
+// Tests for the speculative-parallelization substrate: LRPD, R-LRPD,
+// wavefront inspector/executor and while-loop speculation.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/rng.hpp"
+#include "spec/lrpd.hpp"
+#include "spec/rlrpd.hpp"
+#include "spec/wavefront.hpp"
+#include "spec/while_spec.hpp"
+
+namespace sapp {
+namespace {
+
+ThreadPool& pool4() {
+  static ThreadPool pool(4);
+  return pool;
+}
+
+// ---------------- LRPD ----------------
+
+SpeculativeLoop loop_of(std::size_t dim,
+                        std::vector<std::vector<std::pair<std::uint32_t, Access>>> its) {
+  SpeculativeLoop l;
+  l.dim = dim;
+  for (auto& ops : its) l.iterations.push_back({std::move(ops)});
+  return l;
+}
+
+TEST(Lrpd, DisjointWritesAreFullyParallel) {
+  auto l = loop_of(8, {{{0, Access::kWrite}},
+                       {{1, Access::kWrite}},
+                       {{2, Access::kWrite}, {2, Access::kRead}}});
+  const auto r = lrpd_test(l, pool4());
+  EXPECT_TRUE(r.fully_parallel);
+  EXPECT_TRUE(r.passed());
+  EXPECT_EQ(r.first_dependence_sink, l.iterations.size());
+}
+
+TEST(Lrpd, WriteBeforeReadPerIterationIsPrivatizable) {
+  // Every iteration writes t then reads it: classic privatizable temporary.
+  auto l = loop_of(4, {{{0, Access::kWrite}, {0, Access::kRead}},
+                       {{0, Access::kWrite}, {0, Access::kRead}},
+                       {{0, Access::kWrite}, {0, Access::kRead}}});
+  const auto r = lrpd_test(l, pool4());
+  EXPECT_FALSE(r.fully_parallel);
+  EXPECT_TRUE(r.parallel_after_privatization);
+  EXPECT_TRUE(r.passed());
+}
+
+TEST(Lrpd, ReductionOnlyConflictsValidateAsReduction) {
+  auto l = loop_of(4, {{{2, Access::kReduction}},
+                       {{2, Access::kReduction}},
+                       {{2, Access::kReduction}}});
+  const auto r = lrpd_test(l, pool4());
+  EXPECT_TRUE(r.valid_reduction);
+  EXPECT_TRUE(r.passed());
+}
+
+TEST(Lrpd, FlowDependenceFailsWithEarliestSink) {
+  // iter 0 writes e5; iter 3 reads e5 (exposed) -> sink = 3.
+  auto l = loop_of(8, {{{5, Access::kWrite}},
+                       {{1, Access::kWrite}},
+                       {{2, Access::kWrite}},
+                       {{5, Access::kRead}},
+                       {{5, Access::kRead}}});
+  const auto r = lrpd_test(l, pool4());
+  EXPECT_FALSE(r.passed());
+  EXPECT_EQ(r.first_dependence_sink, 3u);
+}
+
+TEST(Lrpd, MixedReductionAndPlainAccessIsGenuine) {
+  // Element reduced in iter 0/2 but plainly read in iter 1: not a valid
+  // reduction variable (the read observes a partial value).
+  auto l = loop_of(4, {{{0, Access::kReduction}},
+                       {{0, Access::kRead}},
+                       {{0, Access::kReduction}}});
+  const auto r = lrpd_test(l, pool4());
+  EXPECT_FALSE(r.passed());
+  EXPECT_EQ(r.first_dependence_sink, 1u);
+}
+
+TEST(Lrpd, WarOnlyPatternPasses) {
+  // Reads precede every write (WAR): removable by copy-in privatization.
+  auto l = loop_of(4, {{{0, Access::kRead}},
+                       {{0, Access::kRead}},
+                       {{0, Access::kWrite}}});
+  const auto r = lrpd_test(l, pool4());
+  EXPECT_TRUE(r.passed());
+}
+
+// ---------------- R-LRPD ----------------
+
+TEST(Rlrpd, FullyParallelLoopCommitsInOneRound) {
+  constexpr std::size_t kN = 256, kDim = 256;
+  std::vector<double> data(kDim, 0.0);
+  const auto body = [](std::size_t i, SpecArray& a) {
+    a.write(static_cast<std::uint32_t>(i), static_cast<double>(i) * 2);
+  };
+  const auto st = rlrpd_execute(kN, body, data, pool4());
+  EXPECT_TRUE(st.success);
+  EXPECT_EQ(st.rounds, 1u);
+  EXPECT_EQ(st.committed, kN);
+  EXPECT_EQ(st.reexecuted, 0u);
+  for (std::size_t i = 0; i < kDim; ++i)
+    EXPECT_DOUBLE_EQ(data[i], static_cast<double>(i) * 2);
+}
+
+TEST(Rlrpd, ReductionLoopNeedsNoReexecution) {
+  constexpr std::size_t kN = 1024;  // divisible by 16: 64 adds per element
+  std::vector<double> data(16, 0.0);
+  const auto body = [](std::size_t i, SpecArray& a) {
+    a.reduce_add(static_cast<std::uint32_t>(i % 16), 1.0);
+  };
+  const auto st = rlrpd_execute(kN, body, data, pool4());
+  EXPECT_EQ(st.rounds, 1u);
+  for (int e = 0; e < 16; ++e) EXPECT_DOUBLE_EQ(data[e], 64.0);
+}
+
+// The central R-LRPD claim: a partially parallel loop (one dependence arc
+// in the middle) commits the prefix and only re-executes the remainder.
+TEST(Rlrpd, PartiallyParallelLoopMatchesSequential) {
+  constexpr std::size_t kN = 400, kDim = 512;
+  // iteration 200 reads what iteration 100 wrote.
+  const auto body = [](std::size_t i, SpecArray& a) {
+    if (i == 100) a.write(500, 42.0);
+    if (i == 200) {
+      const double v = a.read(500);
+      a.write(501, v + 1.0);
+    }
+    a.write(static_cast<std::uint32_t>(i), static_cast<double>(i));
+  };
+  std::vector<double> seq(kDim, 0.0), par(kDim, 0.0);
+  sequential_execute(kN, body, seq);
+  const auto st = rlrpd_execute(kN, body, par, pool4());
+  EXPECT_TRUE(st.success);
+  EXPECT_EQ(seq, par);
+  // With 4 blocks of 100, iterations 100 and 200 land in different blocks:
+  // at least one re-execution round.
+  EXPECT_GT(st.rounds, 1u);
+  EXPECT_GT(st.reexecuted, 0u);
+  EXPECT_EQ(st.committed, kN);
+}
+
+TEST(Rlrpd, FullySequentialChainTerminates) {
+  // Every iteration reads its predecessor's value: worst case.
+  constexpr std::size_t kN = 64;
+  const auto body = [](std::size_t i, SpecArray& a) {
+    const double prev = i == 0 ? 1.0 : a.read(static_cast<std::uint32_t>(i - 1));
+    a.write(static_cast<std::uint32_t>(i), prev + 1.0);
+  };
+  std::vector<double> seq(kN, 0.0), par(kN, 0.0);
+  sequential_execute(kN, body, seq);
+  const auto st = rlrpd_execute(kN, body, par, pool4());
+  EXPECT_TRUE(st.success);
+  EXPECT_EQ(seq, par);
+  EXPECT_GT(st.rounds, 5u);  // lots of re-execution, but it terminates
+}
+
+TEST(Rlrpd, MaxRoundsFallsBackToSequential) {
+  const auto body = [](std::size_t i, SpecArray& a) {
+    const double prev = i == 0 ? 1.0 : a.read(static_cast<std::uint32_t>(i - 1));
+    a.write(static_cast<std::uint32_t>(i), prev * 1.5);
+  };
+  std::vector<double> seq(64, 0.0), par(64, 0.0);
+  sequential_execute(64, body, seq);
+  const auto st = rlrpd_execute(64, body, par, pool4(), {.max_rounds = 2});
+  EXPECT_FALSE(st.success);  // speculation abandoned...
+  EXPECT_EQ(seq, par);       // ...but the result is still correct
+}
+
+TEST(Rlrpd, WriteAfterWriteAcrossBlocksCommitsInOrder) {
+  constexpr std::size_t kN = 100;
+  const auto body = [](std::size_t i, SpecArray& a) {
+    a.write(7, static_cast<double>(i));  // last writer wins
+  };
+  std::vector<double> par(16, 0.0);
+  const auto st = rlrpd_execute(kN, body, par, pool4());
+  EXPECT_EQ(st.rounds, 1u);  // WAW does not force re-execution
+  EXPECT_DOUBLE_EQ(par[7], 99.0);
+}
+
+// ---------------- wavefront ----------------
+
+TEST(Wavefront, IndependentIterationsOneLevel) {
+  auto l = loop_of(8, {{{0, Access::kWrite}},
+                       {{1, Access::kWrite}},
+                       {{2, Access::kWrite}}});
+  const auto w = compute_wavefronts(l);
+  EXPECT_EQ(w.num_levels(), 1u);
+  EXPECT_DOUBLE_EQ(w.parallelism(), 3.0);
+}
+
+TEST(Wavefront, ChainSerializes) {
+  // i reads i-1's output: level i.
+  std::vector<std::vector<std::pair<std::uint32_t, Access>>> its;
+  its.push_back({{0, Access::kWrite}});
+  for (std::uint32_t i = 1; i < 6; ++i)
+    its.push_back({{static_cast<std::uint32_t>(i - 1), Access::kRead},
+                   {i, Access::kWrite}});
+  const auto w = compute_wavefronts(loop_of(8, std::move(its)));
+  EXPECT_EQ(w.num_levels(), 6u);
+  for (std::uint32_t i = 0; i < 6; ++i) EXPECT_EQ(w.level[i], i);
+}
+
+TEST(Wavefront, ReductionsCommuteWithinLevel) {
+  auto l = loop_of(4, {{{0, Access::kReduction}},
+                       {{0, Access::kReduction}},
+                       {{0, Access::kReduction}}});
+  const auto w = compute_wavefronts(l);
+  EXPECT_EQ(w.num_levels(), 1u);
+}
+
+TEST(Wavefront, ReadAfterReductionOrders) {
+  auto l = loop_of(4, {{{0, Access::kReduction}},
+                       {{0, Access::kReduction}},
+                       {{0, Access::kRead}}});
+  const auto w = compute_wavefronts(l);
+  EXPECT_EQ(w.level[2], 1u);  // the read waits for the reductions
+}
+
+TEST(Wavefront, ExecutorRespectsDependences) {
+  // Chain through memory: executing out of order would corrupt values.
+  constexpr std::size_t kN = 200;
+  std::vector<std::vector<std::pair<std::uint32_t, Access>>> its;
+  for (std::uint32_t i = 0; i < kN; ++i) {
+    if (i % 10 == 0) {
+      its.push_back({{i, Access::kWrite}});
+    } else {
+      its.push_back({{i - 1, Access::kRead}, {i, Access::kWrite}});
+    }
+  }
+  const auto l = loop_of(kN, std::move(its));
+  const auto w = compute_wavefronts(l);
+  std::vector<double> data(kN, 0.0);
+  execute_wavefronts(w, pool4(), [&](std::size_t i) {
+    data[i] = i % 10 == 0 ? 1.0 : data[i - 1] + 1.0;
+  });
+  for (std::size_t i = 0; i < kN; ++i)
+    EXPECT_DOUBLE_EQ(data[i], static_cast<double>(i % 10) + 1.0) << i;
+}
+
+// ---------------- while-loop speculation ----------------
+
+TEST(WhileSpec, ProcessesExactlyTheLoopIterations) {
+  std::atomic<std::uint64_t> sum{0};
+  const auto st = while_spec_execute<std::uint64_t>(
+      0, [](const std::uint64_t& s) { return s < 137; },
+      [](const std::uint64_t& s) { return s + 1; },
+      [&](const std::uint64_t& s) { sum.fetch_add(s); }, 16, pool4());
+  EXPECT_EQ(st.iterations, 137u);
+  EXPECT_EQ(sum.load(), 137ull * 136 / 2);
+  EXPECT_EQ(st.batches, (137 + 15) / 16);
+}
+
+TEST(WhileSpec, DataDependentExitDiscardsOverrun) {
+  // The loop should stop at the 40th iteration; batch 16 means up to 7
+  // speculatively processed iterations are discarded in the last batch.
+  std::atomic<int> processed{0};
+  const auto st = while_spec_execute_datadep<std::uint64_t>(
+      0, [](const std::uint64_t& s) { return s + 1; },
+      [&](const std::uint64_t& s) {
+        processed.fetch_add(1);
+        return s < 39;  // iteration 39 returns false
+      },
+      16, pool4());
+  EXPECT_EQ(st.iterations, 40u);
+  EXPECT_EQ(st.discarded, 48u - 40u);
+  EXPECT_EQ(processed.load(), 48);
+}
+
+TEST(WhileSpec, LinkedListTraversal) {
+  // The motivating case: list nodes processed in parallel while the
+  // traversal discovers them sequentially.
+  constexpr std::size_t kNodes = 500;
+  std::vector<std::uint32_t> next(kNodes);
+  std::iota(next.begin(), next.end(), 1u);  // chain 0->1->...->end
+  std::vector<std::atomic<int>> visited(kNodes);
+  const auto st = while_spec_execute<std::uint32_t>(
+      0, [&](const std::uint32_t& n) { return n < kNodes; },
+      [&](const std::uint32_t& n) { return next[n]; },
+      [&](const std::uint32_t& n) { visited[n].fetch_add(1); }, 32, pool4());
+  EXPECT_EQ(st.iterations, kNodes);
+  for (auto& v : visited) EXPECT_EQ(v.load(), 1);
+}
+
+}  // namespace
+}  // namespace sapp

@@ -1,0 +1,214 @@
+// Tests for the workload generators: structural consistency, regime
+// targets (the published MO/SP sharing shapes per application) and
+// determinism.
+#include <gtest/gtest.h>
+
+#include "core/characterize.hpp"
+#include "workloads/paramsets.hpp"
+#include "workloads/workload.hpp"
+
+namespace sapp::workloads {
+namespace {
+
+void expect_consistent(const Workload& w) {
+  const auto& p = w.input.pattern;
+  ASSERT_TRUE(w.input.consistent()) << w.app;
+  for (std::uint32_t e : p.refs.indices())
+    ASSERT_LT(e, p.dim) << w.app << " element out of range";
+  EXPECT_GT(p.iterations(), 0u) << w.app;
+  EXPECT_GT(w.instr_per_iter, 0u) << w.app;
+}
+
+TEST(Synthetic, HitsDistinctAndMobilityTargets) {
+  SynthParams p;
+  p.dim = 50000;
+  p.distinct = 10000;
+  p.iterations = 30000;
+  p.refs_per_iter = 2;
+  p.seed = 1;
+  const auto in = make_synthetic(p);
+  const auto s = characterize(in.pattern, 8);
+  EXPECT_NEAR(static_cast<double>(s.distinct), 10000, 900);
+  EXPECT_NEAR(s.mo, 2.0, 0.05);
+  EXPECT_EQ(s.iterations, 30000u);
+}
+
+TEST(Synthetic, DeterministicPerSeed) {
+  SynthParams p;
+  p.dim = 10000;
+  p.distinct = 2000;
+  p.iterations = 5000;
+  p.seed = 9;
+  const auto a = make_synthetic(p);
+  const auto b = make_synthetic(p);
+  EXPECT_EQ(a.pattern.refs.indices(), b.pattern.refs.indices());
+  EXPECT_EQ(a.values, b.values);
+  p.seed = 10;
+  const auto c = make_synthetic(p);
+  EXPECT_NE(a.pattern.refs.indices(), c.pattern.refs.indices());
+}
+
+TEST(Irreg, MeshEdgesHaveMobilityTwoAndLocality) {
+  const auto w = make_irreg(100000, 25000, 200000, 3);
+  expect_consistent(w);
+  const auto s = characterize(w.input.pattern, 8);
+  EXPECT_NEAR(s.mo, 2.0, 0.01);
+  EXPECT_TRUE(w.input.pattern.iteration_replication_legal);
+  // Mesh renumbering: low local-write replication under block ownership.
+  EXPECT_LT(s.lw_replication, 1.5);
+}
+
+TEST(Nbf, SingleTargetSkewedHistogram) {
+  const auto w = make_nbf(25600, 6400, 100000, 3);
+  expect_consistent(w);
+  const auto s = characterize(w.input.pattern, 8);
+  EXPECT_DOUBLE_EQ(s.mo, 1.0);
+  EXPECT_GT(s.chd_gini, 0.3);  // hot atoms
+  // Skew must show up as owner imbalance for local-write.
+  EXPECT_GT(s.lw_imbalance, 1.2);
+}
+
+TEST(Moldyn, ScrambledPairsShareTouchedSet) {
+  const auto w = make_moldyn(16384, 3922, 50000, 3);
+  expect_consistent(w);
+  const auto s = characterize(w.input.pattern, 8);
+  EXPECT_NEAR(s.mo, 2.0, 0.01);
+  // Scrambled pair list: most touched elements seen by several threads.
+  EXPECT_GT(s.shared_fraction, 0.5);
+}
+
+TEST(Spark98, RowBandedLowSharing) {
+  const auto w = make_spark98(30169, 18000, 210000, 3);
+  expect_consistent(w);
+  const auto s = characterize(w.input.pattern, 8);
+  EXPECT_DOUBLE_EQ(s.mo, 1.0);
+  EXPECT_LT(s.shared_fraction, 0.15);  // band overlap only
+}
+
+TEST(Spice, VerySparseAndLwIllegal) {
+  const auto w = make_spice(186943, 1200, 3);
+  expect_consistent(w);
+  EXPECT_FALSE(w.input.pattern.iteration_replication_legal);
+  const auto s = characterize(w.input.pattern, 8);
+  EXPECT_LT(s.sp, 20.0);   // touched set far below the dimension
+  EXPECT_GT(s.mo, 20.0);   // ~28 stamps per device
+}
+
+TEST(Charmm, LargeArrayScatteredLists) {
+  const auto w = make_charmm(332288, 59600, 100000, 3);
+  expect_consistent(w);
+  const auto s = characterize(w.input.pattern, 8);
+  EXPECT_NEAR(s.mo, 2.0, 0.05);
+  EXPECT_GT(s.dim_ratio, 4.0);  // 2.5 MB array vs 512 KB cache
+}
+
+// ---------------- Table 2 generators ----------------
+
+TEST(Table2Generators, MatchPublishedShapes) {
+  const auto rows = table2_rows(0.25, 11);
+  ASSERT_EQ(rows.size(), 5u);
+  for (const auto& r : rows) {
+    expect_consistent(r.workload);
+    // Scaled iteration counts track the published values.
+    EXPECT_NEAR(static_cast<double>(r.workload.input.pattern.iterations()),
+                0.25 * r.paper_iters, 0.05 * r.paper_iters + 8)
+        << r.workload.app;
+    EXPECT_EQ(r.workload.instr_per_iter, r.paper_instr_per_iter);
+  }
+}
+
+TEST(Table2Generators, RedOpsPerIterationMatch) {
+  const auto rows = table2_rows(0.2, 12);
+  for (const auto& r : rows) {
+    const auto& p = r.workload.input.pattern;
+    const double red_per_iter = static_cast<double>(p.num_refs()) /
+                                static_cast<double>(p.iterations());
+    EXPECT_NEAR(red_per_iter, r.paper_red_per_iter,
+                0.08 * r.paper_red_per_iter + 0.5)
+        << r.workload.app;
+  }
+}
+
+TEST(Table2Generators, InputStreamVolumesSetPerApplication) {
+  const auto rows = table2_rows(0.1, 13);
+  // Euler reads two node ids per edge; Nbf streams its whole pair list.
+  EXPECT_EQ(rows[0].workload.input_bytes_per_iter, 8u);
+  EXPECT_EQ(rows[4].workload.input_bytes_per_iter, 800u);
+  EXPECT_GT(rows[4].workload.input_bytes_per_iter,
+            rows[1].workload.input_bytes_per_iter);
+}
+
+TEST(Table2Generators, InvocationCountsMatchPaper) {
+  const auto rows = table2_rows(0.1, 14);
+  EXPECT_EQ(rows[0].workload.invocations, 120u);   // Euler
+  EXPECT_EQ(rows[1].workload.invocations, 3855u);  // Equake
+  EXPECT_EQ(rows[2].workload.invocations, 1u);     // Vml
+}
+
+TEST(Table2Generators, EulerEdgesTouchContiguousComponentBlocks) {
+  // dflux updates 7 contiguous state components per endpoint: the
+  // cache-line-friendly layout the PCLR section assumes.
+  const auto w = make_euler(0.05, 15);
+  const auto& p = w.input.pattern;
+  for (std::size_t i = 0; i < std::min<std::size_t>(50, p.iterations());
+       ++i) {
+    const auto row = p.refs.row(i);
+    ASSERT_EQ(row.size(), 14u);
+    for (unsigned c = 1; c < 7; ++c) {
+      EXPECT_EQ(row[c], row[0] + c);      // endpoint u's block
+      EXPECT_EQ(row[7 + c], row[7] + c);  // endpoint v's block
+    }
+  }
+}
+
+TEST(Table2Generators, EulerArraySizeMatchesPaperAtFullScale) {
+  const auto w = make_euler(1.0, 5);
+  const double kb =
+      static_cast<double>(w.input.pattern.dim) * sizeof(double) / 1024.0;
+  EXPECT_NEAR(kb, 686.6, 12.0);
+}
+
+TEST(Table2Generators, VmlFitsInL2) {
+  const auto w = make_vml(1.0, 5);
+  EXPECT_LE(w.input.pattern.dim * sizeof(double), 64u * 1024);
+}
+
+// ---------------- Fig. 3 parameter sets ----------------
+
+TEST(Fig3Rows, TwentyOneRowsAllConsistent) {
+  // Fig. 3 has 21 rows: Irreg 4, Nbf 4, Moldyn 4, Spark98 2, Charmm 3,
+  // Spice 4.
+  const auto rows = fig3_rows(0.05, 20);
+  ASSERT_EQ(rows.size(), 21u);
+  for (const auto& r : rows) {
+    expect_consistent(r.workload);
+    EXPECT_FALSE(r.workload.paper.recommended.empty());
+    EXPECT_EQ(static_cast<double>(r.workload.input.pattern.dim),
+              r.paper_dim)
+        << r.workload.app << " " << r.workload.variant;
+  }
+}
+
+TEST(Fig3Rows, SpiceRowsForbidLw) {
+  for (const auto& r : fig3_rows(0.05, 21)) {
+    if (r.workload.app == "Spice")
+      EXPECT_FALSE(r.workload.input.pattern.iteration_replication_legal);
+    else
+      EXPECT_TRUE(r.workload.input.pattern.iteration_replication_legal);
+  }
+}
+
+TEST(Fig3Rows, DimensionSweepsMatchThePaperColumns) {
+  const auto rows = fig3_rows(0.05, 22);
+  // Irreg sweep: 100K, 500K, 1M, 2M.
+  EXPECT_EQ(rows[0].workload.input.pattern.dim, 100000u);
+  EXPECT_EQ(rows[1].workload.input.pattern.dim, 500000u);
+  EXPECT_EQ(rows[2].workload.input.pattern.dim, 1000000u);
+  EXPECT_EQ(rows[3].workload.input.pattern.dim, 2000000u);
+  // Spice sweep (rows 17..20).
+  EXPECT_EQ(rows[17].workload.input.pattern.dim, 186943u);
+  EXPECT_EQ(rows[20].workload.input.pattern.dim, 33725u);
+}
+
+}  // namespace
+}  // namespace sapp::workloads
