@@ -121,6 +121,6 @@ int main() {
               paper_hits, rows_counted);
   std::printf("\nPaper's own model matched its measurements on 16/21 rows; "
               "stat definitions under-specified in the paper are documented "
-              "in EXPERIMENTS.md.\n");
+              "in docs/BENCHMARKS.md.\n");
   return 0;
 }

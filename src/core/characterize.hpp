@@ -19,7 +19,7 @@
 // owner imbalance).
 //
 // The exact CHR/CON formulas are under-specified in the paper; the formulas
-// implemented here are documented above and in EXPERIMENTS.md, and the
+// implemented here are documented above and in docs/schemes.md, and the
 // decision model is calibrated against *these* definitions.
 #pragma once
 

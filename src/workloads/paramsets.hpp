@@ -2,7 +2,7 @@
 //
 // Each entry carries the generated workload plus everything the paper
 // reports for that row, so the benchmark harnesses can print measured and
-// published values side by side (EXPERIMENTS.md discusses the deltas).
+// published values side by side (docs/BENCHMARKS.md discusses the deltas).
 #pragma once
 
 #include <vector>
@@ -15,7 +15,7 @@ namespace sapp::workloads {
 struct Fig3Row {
   Workload workload;
   /// Paper-reported measures for the row (as printed; definitions in the
-  /// paper are partly ambiguous — see EXPERIMENTS.md).
+  /// paper are partly ambiguous — see docs/BENCHMARKS.md).
   double paper_mo = 0.0;
   double paper_dim = 0.0;  ///< the INPUT column (reduction elements)
   double paper_sp = 0.0;

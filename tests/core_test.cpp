@@ -178,8 +178,9 @@ TEST(CostModel, PredictAllSortsAscending) {
       predict_all(stats_with(5.0, 0.5, 8.0, 0.2), 4, MachineCoeffs::defaults());
   ASSERT_EQ(all.size(), 5u);
   for (std::size_t i = 1; i < all.size(); ++i) {
-    if (all[i].applicable)
+    if (all[i].applicable) {
       EXPECT_LE(all[i - 1].total(), all[i].total());
+    }
   }
 }
 

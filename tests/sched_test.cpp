@@ -107,7 +107,7 @@ TEST(FeedbackGuided, RejectsBadArguments) {
   EXPECT_DEATH(FeedbackGuided(0, 2), "iterations");
   EXPECT_DEATH(FeedbackGuided(10, 0), "thread");
   FeedbackGuided fg(10, 2);
-  EXPECT_DEATH(fg.block(5), "tid");
+  EXPECT_DEATH((void)fg.block(5), "tid");
   EXPECT_DEATH(fg.record(0, -1.0), "non-negative");
 }
 

@@ -47,7 +47,7 @@ TEST_P(Table2Sim, ReductionLineAccountingConserved) {
 TEST_P(Table2Sim, OrderingHwFasterThanSwSlowerThanIdeal) {
   // At very small scales PCLR's fixed costs (whole-cache flush sweep,
   // per-line neutral fills) are not amortized and Sw can win — a genuine
-  // crossover, cf. the Vml discussion in EXPERIMENTS.md. From ~15% of the
+  // crossover, cf. the Vml discussion in docs/BENCHMARKS.md. From ~15% of the
   // paper's sizes upward, PCLR wins for every code (Fig. 6's ordering).
   static const auto amortized_rows = workloads::table2_rows(0.15, 99);
   const auto& w =
