@@ -1,0 +1,11 @@
+// sapp_repro — one-command reproduction of the paper's experiments.
+//
+//   sapp_repro --list
+//   sapp_repro --all --format table,json
+//   sapp_repro fig3_adaptive_table --threads 8
+//
+// All logic lives in src/repro/ (registry, experiments, renderers); this
+// translation unit only exists so the CLI gets built as a binary.
+#include "repro/runner.hpp"
+
+int main(int argc, char** argv) { return sapp::repro::run_cli(argc, argv); }

@@ -6,7 +6,7 @@
 //    Predictor/Optimizer path). This is the default.
 //  * `decide_rules`  — the taxonomy-style rule cascade the paper sketches
 //    (SP ≪ 1 → hash; high CHR & CON → rep; …). Kept as an ablation
-//    (`bench/ablation_decision`) and as documentation of the taxonomy.
+//    (`sapp_repro ablation_decision`) and as documentation of the taxonomy.
 #pragma once
 
 #include <string>

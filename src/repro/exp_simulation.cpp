@@ -1,0 +1,372 @@
+// Simulation-study experiments (cycle-approximate CC-NUMA simulator):
+//   fig6_pclr_breakdown    — Sw/Hw/Flex phase breakdown + speedups,
+//   fig7_scalability       — harmonic-mean speedup at 4/8/16 processors,
+//   table2_appchar         — application characteristics incl. the two
+//                            simulation-derived line counters,
+//   ablation_fpunit        — combine FP-unit pipelining/units,
+//   ablation_linesize      — cache-line size vs. PCLR traffic,
+//   ablation_placement     — input page placement vs. loop scaling,
+//   ablation_flex_occupancy— programmable-controller occupancy crossover.
+//
+// These charge simulated cycles, so reps/warmup do not apply: a simulation
+// is deterministic for a given workload seed and machine config.
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "repro/registry.hpp"
+#include "sim/codegen.hpp"
+#include "workloads/paramsets.hpp"
+
+namespace sapp::repro {
+
+namespace {
+
+using namespace sapp::sim;
+
+double spd(Cycle seq, Cycle par) {
+  return static_cast<double>(seq) / static_cast<double>(par);
+}
+
+// Figure 6 — execution time under Sw / Hw / Flex on a 16-node CC-NUMA,
+// normalized to Sw and broken into Init / Loop / Merge, with speedups over
+// sequential execution.
+ExperimentResult run_fig6(RunContext& ctx) {
+  const double scale = ctx.scale(0.25);
+  const MachineConfig cfg = MachineConfig::paper(16);
+  const auto rows = workloads::table2_rows(scale);
+
+  ExperimentResult res;
+  ResultTable cycles("simulated_cycles",
+                     {"App", "Seq Mcy", "Sw Mcy", "Hw Mcy", "Flex Mcy"});
+  ResultTable breakdown("normalized_breakdown",
+                        {"App", "Scheme", "Init", "Loop", "Merge", "Total",
+                         "Speedup", "Paper speedup"});
+  std::vector<double> sw_spd, hw_spd, flex_spd;
+  for (const auto& row : rows) {
+    const auto& w = row.workload;
+    const Cycle seq = simulate_reduction(w, Mode::kSeq, cfg).total_cycles;
+    const RunResult sw = simulate_reduction(w, Mode::kSw, cfg);
+    const RunResult hw = simulate_reduction(w, Mode::kHw, cfg);
+    const RunResult flex = simulate_reduction(w, Mode::kFlex, cfg);
+
+    cycles.add_row({w.app, round_to(seq / 1e6, 2), round_to(sw.total_cycles / 1e6, 2),
+                    round_to(hw.total_cycles / 1e6, 2),
+                    round_to(flex.total_cycles / 1e6, 2)});
+
+    const double sw_total = static_cast<double>(sw.total_cycles);
+    auto add = [&](const char* name, const RunResult& run, double paper) {
+      breakdown.add_row({w.app, name, round_to(run.phase("init") / sw_total, 3),
+                         round_to(run.phase("loop") / sw_total, 3),
+                         round_to(run.phase("merge") / sw_total, 3),
+                         round_to(run.total_cycles / sw_total, 3),
+                         round_to(spd(seq, run.total_cycles), 1),
+                         round_to(paper, 1)});
+    };
+    add("Sw", sw, row.paper_speedup_sw);
+    add("Hw", hw, row.paper_speedup_hw);
+    add("Flex", flex, row.paper_speedup_flex);
+    sw_spd.push_back(spd(seq, sw.total_cycles));
+    hw_spd.push_back(spd(seq, hw.total_cycles));
+    flex_spd.push_back(spd(seq, flex.total_cycles));
+  }
+  res.tables.push_back(std::move(cycles));
+  res.tables.push_back(std::move(breakdown));
+
+  const double hm_sw = harmonic_mean(sw_spd);
+  const double hm_hw = harmonic_mean(hw_spd);
+  const double hm_flex = harmonic_mean(flex_spd);
+  res.metric("hm_speedup_sw", round_to(hm_sw, 2));
+  res.metric("hm_speedup_hw", round_to(hm_hw, 2));
+  res.metric("hm_speedup_flex", round_to(hm_flex, 2));
+  res.metric("flex_vs_hw_gap_pct", round_to(100.0 * (1.0 - hm_flex / hm_hw), 1));
+  res.note("Paper harmonic means at 16 nodes: Sw 2.7, Hw 7.6, Flex 6.4; "
+           "Flex ~16% below Hw.");
+  res.note("Execution times are normalized to Sw = 1.00 per application; "
+           "PCLR's flush is reported under Merge to match Fig. 6's "
+           "buckets.");
+  return res;
+}
+
+// Figure 7 — harmonic mean of the Sw / Hw / Flex speedups at 4, 8 and 16
+// processors. Hw and Flex scale; Sw flattens because its merge phase does
+// not shrink with more processors.
+ExperimentResult run_fig7(RunContext& ctx) {
+  const double scale = ctx.scale(0.15);
+  const auto rows = workloads::table2_rows(scale);
+
+  ExperimentResult res;
+  ResultTable t("scalability", {"Procs", "Hw", "Flex", "Sw", "Sw-merge-frac"});
+  for (unsigned procs : {4u, 8u, 16u}) {
+    const MachineConfig cfg = MachineConfig::paper(procs);
+    std::vector<double> sw, hw, fx;
+    double merge_frac_acc = 0.0;
+    for (const auto& row : rows) {
+      const auto seq =
+          simulate_reduction(row.workload, Mode::kSeq, cfg).total_cycles;
+      const auto rs = simulate_reduction(row.workload, Mode::kSw, cfg);
+      const auto rh = simulate_reduction(row.workload, Mode::kHw, cfg);
+      const auto rf = simulate_reduction(row.workload, Mode::kFlex, cfg);
+      sw.push_back(spd(seq, rs.total_cycles));
+      hw.push_back(spd(seq, rh.total_cycles));
+      fx.push_back(spd(seq, rf.total_cycles));
+      merge_frac_acc += static_cast<double>(rs.phase("merge")) /
+                        static_cast<double>(rs.total_cycles);
+    }
+    t.add_row({procs, round_to(harmonic_mean(hw), 2),
+               round_to(harmonic_mean(fx), 2), round_to(harmonic_mean(sw), 2),
+               round_to(merge_frac_acc / static_cast<double>(rows.size()), 2)});
+  }
+  res.tables.push_back(std::move(t));
+  res.note("Paper at 16 procs: Hw 7.6, Flex 6.4, Sw 2.7; Sw flattens "
+           "because its merge phase is constant in P (Amdahl on the "
+           "merge).");
+  return res;
+}
+
+// Table 2 — application characteristics, including the two simulation-
+// derived columns: reduction lines flushed at the end of the loop and
+// lines displaced (combined in the background) during the loop, both on
+// the 16-processor PCLR (Hw) configuration. Full size by default: the
+// flushed/displaced columns are only meaningful at paper footprints.
+ExperimentResult run_table2(RunContext& ctx) {
+  const double scale = ctx.scale(1.0);
+  const MachineConfig cfg = MachineConfig::paper(16);
+
+  ExperimentResult res;
+  ResultTable t("application_characteristics",
+                {"App", "Loop", "Iters/inv", "Iters/inv (paper)",
+                 "Instr/iter", "Instr/iter (paper)", "RedOps/iter",
+                 "RedOps/iter (paper)", "RedArray KB", "RedArray KB (paper)",
+                 "Lines flushed", "Lines flushed (paper)", "Lines displaced",
+                 "Lines displaced (paper)"});
+  for (const auto& row : workloads::table2_rows(scale)) {
+    const auto& w = row.workload;
+    const auto& p = w.input.pattern;
+    const auto hw = simulate_reduction(w, Mode::kHw, cfg);
+
+    const double red_per_iter = static_cast<double>(p.num_refs()) /
+                                static_cast<double>(p.iterations());
+    const double kb = static_cast<double>(p.dim) * sizeof(double) / 1024.0;
+    t.add_row({w.app, w.loop, p.iterations(), row.paper_iters,
+               w.instr_per_iter, row.paper_instr_per_iter,
+               round_to(red_per_iter, 1), row.paper_red_per_iter,
+               round_to(kb, 1), round_to(row.paper_array_kb, 1),
+               hw.counters.red_lines_flushed, row.paper_lines_flushed,
+               hw.counters.red_lines_displaced, row.paper_lines_displaced});
+  }
+  res.tables.push_back(std::move(t));
+  res.note("Flushed/displaced counts are per processor per invocation "
+           "summed over processors, as in the paper's last two columns.");
+  res.note("Iteration counts scale with the workload scale; the paper "
+           "columns are the full-size values.");
+  return res;
+}
+
+// Ablation: the directory's combine FP unit (§5.1.3) — pipelined (II=3)
+// vs. unpipelined (II=18), 1 vs. 2 units.
+ExperimentResult run_ablation_fpunit(RunContext& ctx) {
+  const double scale = ctx.scale(0.15);
+  const auto rows = workloads::table2_rows(scale);
+
+  ExperimentResult res;
+  ResultTable t("fp_unit_sweep",
+                {"App", "Units", "II cy", "Loop Mcy", "Flush Mcy",
+                 "Total Mcy"});
+  for (const auto& row : rows) {
+    struct Cfg {
+      unsigned units;
+      unsigned ii;
+    };
+    for (const Cfg c : {Cfg{1, 3}, Cfg{1, 18}, Cfg{2, 3}, Cfg{2, 18}}) {
+      MachineConfig cfg = MachineConfig::paper(16);
+      cfg.fp_units = c.units;
+      cfg.fp_initiation = c.ii;
+      const auto r = simulate_reduction(row.workload, Mode::kHw, cfg);
+      t.add_row({row.workload.app, c.units, c.ii,
+                 round_to(r.phase("loop") / 1e6, 3),
+                 round_to(r.phase("merge") / 1e6, 3),
+                 round_to(r.total_cycles / 1e6, 3)});
+    }
+  }
+  res.tables.push_back(std::move(t));
+  res.note("An unpipelined adder (II=18) stretches the flush and can back "
+           "up displacement combining into the loop; a second unit "
+           "recovers most of it — the paper's \"pipeline it or add units\" "
+           "remedy.");
+  return res;
+}
+
+// Ablation: cache-line size vs. PCLR traffic (§5.1.3). A reduction line
+// is combined whole, so longer lines mean fewer, heavier combines.
+ExperimentResult run_ablation_linesize(RunContext& ctx) {
+  const double scale = ctx.scale(0.15);
+  const auto rows = workloads::table2_rows(scale);
+
+  ExperimentResult res;
+  ResultTable t("line_size_sweep",
+                {"App", "Line B", "Total Mcy", "Fills", "Displaced",
+                 "Flushed", "Combines"});
+  for (const auto& row : rows) {
+    for (const unsigned line : {32u, 64u, 128u}) {
+      MachineConfig cfg = MachineConfig::paper(16);
+      cfg.line_bytes = line;
+      const auto r = simulate_reduction(row.workload, Mode::kHw, cfg);
+      t.add_row({row.workload.app, line, round_to(r.total_cycles / 1e6, 3),
+                 r.counters.red_fills, r.counters.red_lines_displaced,
+                 r.counters.red_lines_flushed, r.counters.combines});
+    }
+  }
+  res.tables.push_back(std::move(t));
+  res.note("Longer lines amortize fills but combine more neutral elements "
+           "per write-back; 64 B (the paper's size) balances the two for "
+           "these access densities.");
+  return res;
+}
+
+// Ablation: shared-input page placement (§6.1) — master first-touch, OS
+// page interleaving, or parallel (reader-local) initialization. Placement
+// changes how much the loop phase scales, not what PCLR does.
+ExperimentResult run_ablation_placement(RunContext& ctx) {
+  const double scale = ctx.scale(0.15);
+  const auto rows = workloads::table2_rows(scale);
+
+  ExperimentResult res;
+  ResultTable t("placement_sweep",
+                {"App", "Placement", "Loop Mcy", "Total Mcy", "Speedup"});
+  struct Policy {
+    MachineConfig::InputPlacement pl;
+    const char* name;
+  };
+  const Policy policies[] = {
+      {MachineConfig::InputPlacement::kMaster, "master"},
+      {MachineConfig::InputPlacement::kRoundRobin, "round-robin"},
+      {MachineConfig::InputPlacement::kReaderLocal, "reader-local"},
+  };
+  for (const auto& row : rows) {
+    MachineConfig cfg = MachineConfig::paper(16);
+    const auto seq =
+        simulate_reduction(row.workload, Mode::kSeq, cfg).total_cycles;
+    for (const Policy& pol : policies) {
+      cfg.input_placement = pol.pl;
+      const auto r = simulate_reduction(row.workload, Mode::kHw, cfg);
+      t.add_row({row.workload.app, pol.name,
+                 round_to(r.phase("loop") / 1e6, 3),
+                 round_to(r.total_cycles / 1e6, 3),
+                 round_to(spd(seq, r.total_cycles), 1)});
+    }
+  }
+  res.tables.push_back(std::move(t));
+  res.note("Input-heavy codes (Nbf streams ~800 B of pair list per "
+           "iteration) are most sensitive; compute-heavy ones barely "
+           "notice — the paper's per-application speedup spread lives in "
+           "this difference.");
+  return res;
+}
+
+// Ablation: how slow can the programmable (Flex) directory controller be
+// before PCLR loses its advantage? Sweeps the firmware occupancy
+// multiplier; x1 equals the hardwired controller.
+ExperimentResult run_ablation_flex_occupancy(RunContext& ctx) {
+  const double scale = ctx.scale(0.15);
+  const auto rows = workloads::table2_rows(scale);
+  const MachineConfig base = MachineConfig::paper(16);
+
+  std::vector<double> seq_cycles, sw_speedup;
+  for (const auto& row : rows) {
+    const auto seq =
+        simulate_reduction(row.workload, Mode::kSeq, base).total_cycles;
+    const auto sw =
+        simulate_reduction(row.workload, Mode::kSw, base).total_cycles;
+    seq_cycles.push_back(static_cast<double>(seq));
+    sw_speedup.push_back(spd(seq, sw));
+  }
+  const double sw_hm = harmonic_mean(sw_speedup);
+
+  ExperimentResult res;
+  ResultTable t("occupancy_sweep",
+                {"Occupancy x", "Flex speedup (hm)", "vs Hw %", "vs Sw %"});
+  double hw_hm = 0.0;
+  for (const double mult : {1.0, 2.0, 4.0, 6.0, 8.0, 12.0, 20.0}) {
+    MachineConfig cfg = base;
+    cfg.flex_occupancy_mult = mult;
+    std::vector<double> speedups;
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const auto fx =
+          simulate_reduction(rows[i].workload, Mode::kFlex, cfg).total_cycles;
+      speedups.push_back(seq_cycles[i] / static_cast<double>(fx));
+    }
+    const double hm = harmonic_mean(speedups);
+    if (mult == 1.0) hw_hm = hm;  // x1 == hardwired occupancy
+    t.add_row({mult, round_to(hm, 2), round_to(100.0 * (hm / hw_hm - 1.0), 0),
+               round_to(100.0 * (hm / sw_hm - 1.0), 0)});
+  }
+  res.tables.push_back(std::move(t));
+  res.metric("hm_speedup_sw", round_to(sw_hm, 2));
+  res.note("The paper's MAGIC-style controller sits near x6 (Flex ~16% "
+           "below Hw); PCLR stays ahead of Sw far beyond that.");
+  return res;
+}
+
+}  // namespace
+
+void register_simulation_experiments(ExperimentRegistry& r) {
+  r.add({.name = "fig6_pclr_breakdown",
+         .title = "PCLR vs software-only reductions, 16 nodes (Fig. 6)",
+         .paper_ref = "Fig. 6",
+         .description =
+             "Simulate Seq/Sw/Hw/Flex per Table 2 code; report normalized "
+             "Init/Loop/Merge breakdown and harmonic-mean speedups.",
+         .default_scale = 0.25,
+         .run = run_fig6});
+  r.add({.name = "fig7_scalability",
+         .title = "speedup scalability at 4/8/16 processors (Fig. 7)",
+         .paper_ref = "Fig. 7",
+         .description =
+             "Harmonic-mean Sw/Hw/Flex speedups as the node count grows; "
+             "shows Sw's merge-bound flattening.",
+         .default_scale = 0.15,
+         .run = run_fig7});
+  r.add({.name = "table2_appchar",
+         .title = "application characteristics (Table 2)",
+         .paper_ref = "Table 2",
+         .description =
+             "Per-application loop statistics plus the simulation-derived "
+             "flushed/displaced reduction-line counters.",
+         .default_scale = 1.0,
+         .run = run_table2});
+  r.add({.name = "ablation_fpunit",
+         .title = "combine FP-unit pipelining and unit count",
+         .paper_ref = "ablation (§5.1.3)",
+         .description =
+             "Pipelined vs unpipelined combine adder, 1 vs 2 units, on the "
+             "combine-heaviest codes.",
+         .default_scale = 0.15,
+         .run = run_ablation_fpunit});
+  r.add({.name = "ablation_linesize",
+         .title = "cache-line size vs PCLR traffic",
+         .paper_ref = "ablation (§5.1.3)",
+         .description =
+             "32/64/128 B reduction lines: fills, displacements, flushes "
+             "and combines per code.",
+         .default_scale = 0.15,
+         .run = run_ablation_linesize});
+  r.add({.name = "ablation_placement",
+         .title = "input page placement vs loop scaling",
+         .paper_ref = "ablation (§6.1)",
+         .description =
+             "Master / round-robin / reader-local first-touch placement of "
+             "the shared inputs under PCLR Hw.",
+         .default_scale = 0.15,
+         .run = run_ablation_placement});
+  r.add({.name = "ablation_flex_occupancy",
+         .title = "Flex controller occupancy crossover",
+         .paper_ref = "ablation (§5.2)",
+         .description =
+             "Sweep the programmable controller's occupancy multiplier and "
+             "locate the crossover with the software-only scheme.",
+         .default_scale = 0.15,
+         .run = run_ablation_flex_occupancy});
+}
+
+}  // namespace sapp::repro

@@ -1,0 +1,201 @@
+// Software-study experiments (measured on the host, not simulated):
+//   fig3_adaptive_table — Fig. 3 validation of adaptive scheme selection,
+//   ablation_decision   — sensitivity of the rule taxonomy's thresholds.
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "core/adaptive.hpp"
+#include "repro/registry.hpp"
+#include "workloads/paramsets.hpp"
+
+namespace sapp::repro {
+
+namespace {
+
+struct Measured {
+  SchemeKind kind;
+  double seconds;
+};
+
+std::string order_string(std::vector<Measured> ms) {
+  std::sort(ms.begin(), ms.end(), [](const Measured& a, const Measured& b) {
+    return a.seconds < b.seconds;
+  });
+  std::string out;
+  for (std::size_t i = 0; i < ms.size(); ++i) {
+    if (i) out += ">=";
+    out += to_string(ms[i].kind);
+  }
+  return out;
+}
+
+// Figure 3 — validation of adaptive reduction-algorithm selection.
+//
+// For every row of the paper's table (6 applications x input sizes):
+//   1. generate the workload from the official parameter set,
+//   2. characterize the reference pattern (MO, DIM, SP, CON, CHR, ...),
+//   3. ask both deciders (cost model / rule taxonomy) for a recommendation,
+//   4. measure every applicable scheme and report the experimental
+//      ordering (best first),
+// then score the recommendations against the measured winners — the same
+// validation the paper's table performs.
+//
+// Host caveat: the paper measured on 8 processors of a dedicated SMP;
+// rankings are the reproducible object, not absolute speedups.
+ExperimentResult run_fig3(RunContext& ctx) {
+  const double scale = ctx.scale(0.3);
+  ThreadPool& pool = ctx.pool();
+  const MachineCoeffs& coeffs = ctx.coeffs();
+
+  ExperimentResult res;
+  ResultTable t("adaptive_selection",
+                {"App", "Input", "MO", "SP%", "CON", "CHR", "Model", "Rules",
+                 "Paper", "Measured order", "Paper order"});
+
+  int model_hits = 0, rule_hits = 0, paper_hits = 0, rows_counted = 0;
+  for (const auto& row : workloads::fig3_rows(scale)) {
+    const auto& w = row.workload;
+    const auto& in = w.input;
+
+    const PatternStats stats = characterize(in.pattern, ctx.threads());
+    const Decision model = decide_model(stats, in.pattern.body_flops, coeffs);
+    const Decision rules = decide_rules(stats);
+
+    // Measure every applicable candidate. The paper's run-time system pays
+    // the inspector and the private-storage allocation at run time, so the
+    // ranking charges plan + execute (median of reps() full runs).
+    std::vector<Measured> measured;
+    std::vector<double> out(in.pattern.dim);
+    for (SchemeKind kind : candidate_scheme_kinds()) {
+      const auto scheme = make_scheme(kind);
+      if (!scheme->applicable(in.pattern)) continue;
+      const double secs = ctx.measure([&] {
+        std::fill(out.begin(), out.end(), 0.0);
+        return scheme->run(in, pool, out).total_with_inspect_s();
+      });
+      measured.push_back({kind, secs});
+    }
+    const SchemeKind winner =
+        std::min_element(measured.begin(), measured.end(),
+                         [](const Measured& a, const Measured& b) {
+                           return a.seconds < b.seconds;
+                         })
+            ->kind;
+
+    ++rows_counted;
+    if (model.recommended == winner) ++model_hits;
+    if (rules.recommended == winner) ++rule_hits;
+    if (w.paper.recommended == to_string(winner)) ++paper_hits;
+
+    t.add_row({w.app, in.pattern.dim, round_to(stats.mo, 2),
+               round_to(stats.sp, 2), round_to(stats.con, 1),
+               round_to(stats.chr, 2), std::string(to_string(model.recommended)),
+               std::string(to_string(rules.recommended)), w.paper.recommended,
+               order_string(measured), w.paper.measured_order});
+  }
+  res.tables.push_back(std::move(t));
+
+  res.metric("rows", rows_counted);
+  res.metric("cost_model_hits", model_hits);
+  res.metric("rule_table_hits", rule_hits);
+  res.metric("paper_recommendation_hits", paper_hits);
+  res.note("Decision quality scores recommendation == measured winner on "
+           "this host; the paper's own model matched its measurements on "
+           "16/21 rows.");
+  res.note("paper_recommendation_hits compares the paper's recommended "
+           "scheme with our measured winner (pattern stats are "
+           "host/definition dependent; see docs/reproducing.md).");
+  return res;
+}
+
+// Ablation: sensitivity of the rule-taxonomy decision to its thresholds,
+// and rule-vs-cost-model agreement across the Fig. 3 parameter sets. The
+// paper's selector is threshold-based ("a threshold that is tested at
+// run-time"); the sweep shows how many of the 21 Fig. 3 decisions flip as
+// the three most influential cut-points move.
+ExperimentResult run_ablation_decision(RunContext& ctx) {
+  const double scale = ctx.scale(0.1);
+
+  // Characterize all rows once.
+  const auto rows = workloads::fig3_rows(scale);
+  std::vector<PatternStats> stats;
+  for (const auto& r : rows)
+    stats.push_back(characterize(r.workload.input.pattern, ctx.threads()));
+
+  // Baseline decisions.
+  const RuleThresholds base;
+  std::vector<SchemeKind> base_pick;
+  for (const auto& s : stats) base_pick.push_back(decide_rules(s).recommended);
+
+  ExperimentResult res;
+  ResultTable t("threshold_sweep",
+                {"hash_sp_max", "rep_chr_min", "ll_shared_min", "flips",
+                 "hash-picks", "rep-picks", "lw-picks", "ll-picks",
+                 "sel-picks"});
+  for (const double sp_max : {1.0, 3.0, 6.0}) {
+    for (const double chr_min : {1.0, 2.0, 4.0}) {
+      for (const double ll_min : {0.2, 0.35, 0.6}) {
+        RuleThresholds th = base;
+        th.hash_sp_max = sp_max;
+        th.rep_chr_min = chr_min;
+        th.ll_shared_min = ll_min;
+        int flips = 0;
+        int picks[5] = {0, 0, 0, 0, 0};
+        for (std::size_t i = 0; i < stats.size(); ++i) {
+          const SchemeKind k = decide_rules(stats[i], th).recommended;
+          if (k != base_pick[i]) ++flips;
+          switch (k) {
+            case SchemeKind::kHash: ++picks[0]; break;
+            case SchemeKind::kRep: ++picks[1]; break;
+            case SchemeKind::kLocalWrite: ++picks[2]; break;
+            case SchemeKind::kLinked: ++picks[3]; break;
+            case SchemeKind::kSelective: ++picks[4]; break;
+            default: break;
+          }
+        }
+        t.add_row({sp_max, chr_min, round_to(ll_min, 2), flips, picks[0],
+                   picks[1], picks[2], picks[3], picks[4]});
+      }
+    }
+  }
+  res.tables.push_back(std::move(t));
+
+  // Rule vs model agreement at the defaults.
+  const MachineCoeffs& mc = ctx.coeffs();
+  int agree = 0;
+  for (std::size_t i = 0; i < stats.size(); ++i) {
+    const auto m = decide_model(
+        stats[i], rows[i].workload.input.pattern.body_flops, mc);
+    if (m.recommended == base_pick[i]) ++agree;
+  }
+  res.metric("rows", static_cast<double>(stats.size()));
+  res.metric("rule_vs_model_agreement", agree);
+  res.note("Agreement counts rows where the rule taxonomy and the cost "
+           "model pick the same scheme at default thresholds.");
+  return res;
+}
+
+}  // namespace
+
+void register_software_experiments(ExperimentRegistry& r) {
+  r.add({.name = "fig3_adaptive_table",
+         .title = "adaptive reduction-scheme selection (Fig. 3)",
+         .paper_ref = "Fig. 3",
+         .description =
+             "Characterize each Fig. 3 workload, compare the cost-model and "
+             "rule-taxonomy recommendations against the measured-on-this-"
+             "host scheme ranking.",
+         .default_scale = 0.3,
+         .run = run_fig3});
+  r.add({.name = "ablation_decision",
+         .title = "decision-threshold sensitivity",
+         .paper_ref = "ablation (Fig. 3 data)",
+         .description =
+             "Sweep the rule taxonomy's thresholds over the Fig. 3 rows and "
+             "count flipped decisions; report rule-vs-model agreement.",
+         .default_scale = 0.1,
+         .run = run_ablation_decision});
+}
+
+}  // namespace sapp::repro

@@ -1,0 +1,98 @@
+// Speculation experiment (§3, ref [5]): R-LRPD speedup on partially
+// parallel loops as a function of cross-iteration dependence density.
+//
+// "We have implemented the Recursive LRPD test and applied it to the three
+//  most important loops in TRACK ... prior to this technique, TRACK was
+//  considered sequential." The TRACK loops have a few genuine dependences
+// in otherwise parallel work; this harness sweeps that density.
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+#include "repro/registry.hpp"
+#include "spec/rlrpd.hpp"
+
+namespace sapp::repro {
+
+namespace {
+
+ExperimentResult run_spec_rlrpd(RunContext& ctx) {
+  const double scale = ctx.scale(1.0);
+  // Floor: the dependence-pair generator places sinks up to 170 past a
+  // source drawn below n - 200, so n must stay comfortably above that.
+  const auto n = std::max<std::size_t>(
+      1000, static_cast<std::size_t>(30000 * scale));
+  constexpr std::size_t kDim = 40000;
+  constexpr int kWork = 800;  // flops per iteration (TRACK-like heavy body)
+  ThreadPool& pool = ctx.pool();
+
+  ExperimentResult res;
+  ResultTable t("dependence_density_sweep",
+                {"Dep density", "Rounds", "Committed", "Re-executed",
+                 "Seq ms", "R-LRPD ms", "Speedup"});
+  for (const double density : {0.0, 0.0005, 0.002, 0.01, 0.05}) {
+    // Dependence pairs: iteration s writes a flag element, iteration
+    // s + gap reads it. Pairs scattered deterministically.
+    Rng rng(99);
+    std::vector<std::uint8_t> reads_flag(n, 0), writes_flag(n, 0);
+    const auto deps = static_cast<std::size_t>(density * static_cast<double>(n));
+    for (std::size_t d = 0; d < deps; ++d) {
+      const std::size_t src = rng.below(n - 200);
+      const std::size_t sink = src + 20 + rng.below(150);
+      writes_flag[src] = 1;
+      reads_flag[sink] = 1;
+    }
+
+    const SpecLoopBody body = [&](std::size_t i, SpecArray& a) {
+      double x = 1.0 + static_cast<double>(i % 7);
+      for (int k = 0; k < kWork; ++k) x = x * 0.999 + 0.01;  // heavy body
+      if (writes_flag[i]) a.write(static_cast<std::uint32_t>(kDim - 1), x);
+      if (reads_flag[i]) x += a.read(static_cast<std::uint32_t>(kDim - 1));
+      a.reduce_add(static_cast<std::uint32_t>(i % (kDim - 2)), x);
+    };
+
+    std::vector<double> seq(kDim, 0.0), par(kDim, 0.0);
+    const double seq_s = ctx.measure([&] {
+      std::fill(seq.begin(), seq.end(), 0.0);
+      Timer timer;
+      sequential_execute(n, body, seq);
+      return timer.seconds();
+    });
+
+    RlrpdStats st{};
+    const double par_s = ctx.measure([&] {
+      std::fill(par.begin(), par.end(), 0.0);
+      Timer timer;
+      st = rlrpd_execute(n, body, par, pool);
+      return timer.seconds();
+    });
+
+    t.add_row({round_to(density, 4), st.rounds, st.committed, st.reexecuted,
+               round_to(seq_s * 1e3, 1), round_to(par_s * 1e3, 1),
+               round_to(seq_s / par_s, 2)});
+  }
+  res.tables.push_back(std::move(t));
+  res.metric("iterations", static_cast<double>(n));
+  res.note("At density 0 the loop commits in one round (plain LRPD pass); "
+           "as genuine dependences appear, only the suffix past each "
+           "earliest sink re-executes, so useful speedup survives moderate "
+           "densities — the paper's TRACK result.");
+  return res;
+}
+
+}  // namespace
+
+void register_speculation_experiments(ExperimentRegistry& r) {
+  r.add({.name = "spec_rlrpd",
+         .title = "R-LRPD speculation on partially parallel loops",
+         .paper_ref = "§3",
+         .description =
+             "Sweep cross-iteration dependence density and report rounds, "
+             "re-executed iterations and speedup of the Recursive LRPD "
+             "test against sequential execution.",
+         .default_scale = 1.0,
+         .run = run_spec_rlrpd});
+}
+
+}  // namespace sapp::repro

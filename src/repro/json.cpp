@@ -1,0 +1,375 @@
+#include "repro/json.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace sapp::repro {
+
+namespace {
+
+void append_escaped(std::string& out, std::string_view s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void dump_rec(const JsonValue& v, std::string& out, int depth) {
+  const std::string pad(static_cast<std::size_t>(depth) * 2, ' ');
+  const std::string pad_in(static_cast<std::size_t>(depth + 1) * 2, ' ');
+  switch (v.kind()) {
+    case JsonValue::Kind::kNull: out += "null"; return;
+    case JsonValue::Kind::kBool: out += v.as_bool() ? "true" : "false"; return;
+    case JsonValue::Kind::kNumber: out += format_json_number(v.as_number()); return;
+    case JsonValue::Kind::kString: append_escaped(out, v.as_string()); return;
+    case JsonValue::Kind::kArray: {
+      const auto& xs = v.items();
+      if (xs.empty()) {
+        out += "[]";
+        return;
+      }
+      // Arrays of scalars stay on one line (table rows read naturally);
+      // arrays holding containers get one element per line.
+      bool nested = false;
+      for (const auto& x : xs)
+        nested = nested || x.is_array() || x.is_object();
+      out += '[';
+      for (std::size_t i = 0; i < xs.size(); ++i) {
+        if (nested) {
+          out += '\n';
+          out += pad_in;
+        }
+        dump_rec(xs[i], out, depth + 1);
+        if (i + 1 < xs.size()) out += nested ? "," : ", ";
+      }
+      if (nested) {
+        out += '\n';
+        out += pad;
+      }
+      out += ']';
+      return;
+    }
+    case JsonValue::Kind::kObject: {
+      const auto& ms = v.members();
+      if (ms.empty()) {
+        out += "{}";
+        return;
+      }
+      out += "{\n";
+      for (std::size_t i = 0; i < ms.size(); ++i) {
+        out += pad_in;
+        append_escaped(out, ms[i].first);
+        out += ": ";
+        dump_rec(ms[i].second, out, depth + 1);
+        if (i + 1 < ms.size()) out += ',';
+        out += '\n';
+      }
+      out += pad;
+      out += '}';
+      return;
+    }
+  }
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  std::optional<JsonValue> run(std::string* error) {
+    auto v = parse_value(0);
+    skip_ws();
+    if (v && pos_ != text_.size()) {
+      fail("trailing characters after document");
+      v = std::nullopt;
+    }
+    if (!v && error != nullptr)
+      *error = err_ + " at byte " + std::to_string(err_pos_);
+    return v;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  void fail(std::string msg) {
+    if (err_.empty()) {
+      err_ = std::move(msg);
+      err_pos_ = pos_;
+    }
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) == word) {
+      pos_ += word.size();
+      return true;
+    }
+    return false;
+  }
+
+  std::optional<std::string> parse_string_body() {
+    // Called with pos_ just past the opening quote.
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        fail("raw control character in string");
+        return std::nullopt;
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            fail("truncated \\u escape");
+            return std::nullopt;
+          }
+          unsigned cp = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            cp <<= 4;
+            if (h >= '0' && h <= '9') cp |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') cp |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') cp |= static_cast<unsigned>(h - 'A' + 10);
+            else {
+              fail("bad hex digit in \\u escape");
+              return std::nullopt;
+            }
+          }
+          // Encode as UTF-8 (surrogate pairs are not needed for our
+          // ASCII-centric output; lone surrogates round-trip as-is).
+          if (cp < 0x80) {
+            out += static_cast<char>(cp);
+          } else if (cp < 0x800) {
+            out += static_cast<char>(0xC0 | (cp >> 6));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (cp >> 12));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+          }
+          break;
+        }
+        default:
+          fail("unknown escape");
+          return std::nullopt;
+      }
+    }
+    fail("unterminated string");
+    return std::nullopt;
+  }
+
+  std::optional<JsonValue> parse_value(int depth) {
+    if (depth > kMaxDepth) {
+      fail("nesting too deep");
+      return std::nullopt;
+    }
+    skip_ws();
+    if (pos_ >= text_.size()) {
+      fail("unexpected end of input");
+      return std::nullopt;
+    }
+    const char c = text_[pos_];
+    if (c == 'n') {
+      if (literal("null")) return JsonValue(nullptr);
+      fail("bad literal");
+      return std::nullopt;
+    }
+    if (c == 't') {
+      if (literal("true")) return JsonValue(true);
+      fail("bad literal");
+      return std::nullopt;
+    }
+    if (c == 'f') {
+      if (literal("false")) return JsonValue(false);
+      fail("bad literal");
+      return std::nullopt;
+    }
+    if (c == '"') {
+      ++pos_;
+      auto s = parse_string_body();
+      if (!s) return std::nullopt;
+      return JsonValue(std::move(*s));
+    }
+    if (c == '[') {
+      ++pos_;
+      JsonValue arr = JsonValue::array();
+      skip_ws();
+      if (consume(']')) return arr;
+      while (true) {
+        auto v = parse_value(depth + 1);
+        if (!v) return std::nullopt;
+        arr.push_back(std::move(*v));
+        if (consume(',')) continue;
+        if (consume(']')) return arr;
+        fail("expected ',' or ']'");
+        return std::nullopt;
+      }
+    }
+    if (c == '{') {
+      ++pos_;
+      JsonValue obj = JsonValue::object();
+      skip_ws();
+      if (consume('}')) return obj;
+      while (true) {
+        if (!consume('"')) {
+          fail("expected member name");
+          return std::nullopt;
+        }
+        auto key = parse_string_body();
+        if (!key) return std::nullopt;
+        if (!consume(':')) {
+          fail("expected ':'");
+          return std::nullopt;
+        }
+        auto v = parse_value(depth + 1);
+        if (!v) return std::nullopt;
+        obj.set(*key, std::move(*v));
+        if (consume(',')) continue;
+        if (consume('}')) return obj;
+        fail("expected ',' or '}'");
+        return std::nullopt;
+      }
+    }
+    // Number. Validate against the JSON grammar first — std::from_chars
+    // alone would also accept non-JSON spellings like "inf" or "007".
+    const std::size_t start = pos_;
+    std::size_t p = pos_;
+    auto digits = [&] {
+      const std::size_t first = p;
+      while (p < text_.size() && text_[p] >= '0' && text_[p] <= '9') ++p;
+      return p > first;
+    };
+    if (p < text_.size() && text_[p] == '-') ++p;
+    if (p < text_.size() && text_[p] == '0') {
+      ++p;  // a leading zero must stand alone
+    } else if (!digits()) {
+      fail("invalid value");
+      return std::nullopt;
+    }
+    if (p < text_.size() && text_[p] == '.') {
+      ++p;
+      if (!digits()) {
+        fail("invalid value");
+        return std::nullopt;
+      }
+    }
+    if (p < text_.size() && (text_[p] == 'e' || text_[p] == 'E')) {
+      ++p;
+      if (p < text_.size() && (text_[p] == '+' || text_[p] == '-')) ++p;
+      if (!digits()) {
+        fail("invalid value");
+        return std::nullopt;
+      }
+    }
+    const char* begin = text_.data() + start;
+    double num = 0.0;
+    const auto [ptr, ec] = std::from_chars(begin, text_.data() + p, num);
+    if (ec != std::errc{} || ptr != text_.data() + p) {
+      fail("invalid value");
+      return std::nullopt;
+    }
+    pos_ = p;
+    return JsonValue(num);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::string err_;
+  std::size_t err_pos_ = 0;
+};
+
+}  // namespace
+
+void JsonValue::set(std::string_view key, JsonValue v) {
+  auto& ms = std::get<Members>(v_);
+  for (auto& [k, existing] : ms) {
+    if (k == key) {
+      existing = std::move(v);
+      return;
+    }
+  }
+  ms.emplace_back(std::string(key), std::move(v));
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (!is_object()) return nullptr;
+  for (const auto& [k, v] : members())
+    if (k == key) return &v;
+  return nullptr;
+}
+
+std::string JsonValue::dump() const {
+  std::string out;
+  dump_rec(*this, out, 0);
+  out += '\n';
+  return out;
+}
+
+std::optional<JsonValue> JsonValue::parse(std::string_view text,
+                                          std::string* error) {
+  return Parser(text).run(error);
+}
+
+std::string format_json_number(double v) {
+  if (!std::isfinite(v)) return "null";  // JSON has no inf/nan
+  if (v == std::floor(v) && std::fabs(v) < 9.007199254740992e15) {
+    char buf[32];
+    const auto [ptr, ec] =
+        std::to_chars(buf, buf + sizeof buf, static_cast<long long>(v));
+    return ec == std::errc{} ? std::string(buf, ptr) : std::string("0");
+  }
+  char buf[40];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof buf, v);
+  return ec == std::errc{} ? std::string(buf, ptr) : std::string("0");
+}
+
+}  // namespace sapp::repro

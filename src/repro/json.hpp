@@ -1,0 +1,106 @@
+// Minimal JSON value, writer and parser for the reproduction runner.
+//
+// sapp_repro emits machine-readable results (docs/reproducing.md documents
+// the schema) and the smoke tests re-parse what was written; neither should
+// drag in an external JSON dependency, so this header provides the small
+// subset we need: an ordered-object value type, a pretty printer with
+// stable key order, and a strict recursive-descent parser.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace sapp::repro {
+
+/// A JSON document node. Objects preserve insertion order so rendered
+/// files diff cleanly across runs.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  using Array = std::vector<JsonValue>;
+  using Members = std::vector<std::pair<std::string, JsonValue>>;
+
+  JsonValue() : v_(std::monostate{}) {}
+  JsonValue(std::nullptr_t) : v_(std::monostate{}) {}
+  JsonValue(bool b) : v_(b) {}
+  JsonValue(double d) : v_(d) {}
+  JsonValue(int i) : v_(static_cast<double>(i)) {}
+  JsonValue(unsigned u) : v_(static_cast<double>(u)) {}
+  JsonValue(long i) : v_(static_cast<double>(i)) {}
+  JsonValue(unsigned long u) : v_(static_cast<double>(u)) {}
+  JsonValue(long long i) : v_(static_cast<double>(i)) {}
+  JsonValue(unsigned long long u) : v_(static_cast<double>(u)) {}
+  JsonValue(const char* s) : v_(std::string(s)) {}
+  JsonValue(std::string_view s) : v_(std::string(s)) {}
+  JsonValue(std::string s) : v_(std::move(s)) {}
+
+  [[nodiscard]] static JsonValue array() {
+    JsonValue j;
+    j.v_ = Array{};
+    return j;
+  }
+  [[nodiscard]] static JsonValue object() {
+    JsonValue j;
+    j.v_ = Members{};
+    return j;
+  }
+
+  [[nodiscard]] Kind kind() const {
+    return static_cast<Kind>(v_.index());
+  }
+  [[nodiscard]] bool is_null() const { return kind() == Kind::kNull; }
+  [[nodiscard]] bool is_bool() const { return kind() == Kind::kBool; }
+  [[nodiscard]] bool is_number() const { return kind() == Kind::kNumber; }
+  [[nodiscard]] bool is_string() const { return kind() == Kind::kString; }
+  [[nodiscard]] bool is_array() const { return kind() == Kind::kArray; }
+  [[nodiscard]] bool is_object() const { return kind() == Kind::kObject; }
+
+  [[nodiscard]] bool as_bool() const { return std::get<bool>(v_); }
+  [[nodiscard]] double as_number() const { return std::get<double>(v_); }
+  [[nodiscard]] const std::string& as_string() const {
+    return std::get<std::string>(v_);
+  }
+  [[nodiscard]] const Array& items() const { return std::get<Array>(v_); }
+  [[nodiscard]] const Members& members() const {
+    return std::get<Members>(v_);
+  }
+
+  /// Append to an array value.
+  void push_back(JsonValue v) { std::get<Array>(v_).push_back(std::move(v)); }
+
+  /// Insert-or-replace a member of an object value (insertion order kept).
+  void set(std::string_view key, JsonValue v);
+
+  /// Member lookup on an object value; nullptr when absent or not an
+  /// object.
+  [[nodiscard]] const JsonValue* find(std::string_view key) const;
+
+  /// Render with 2-space indentation and '\n' line ends.
+  [[nodiscard]] std::string dump() const;
+
+  /// Strict parse of a complete document; on failure returns nullopt and,
+  /// when `error` is non-null, a message with the byte offset.
+  [[nodiscard]] static std::optional<JsonValue> parse(std::string_view text,
+                                                      std::string* error =
+                                                          nullptr);
+
+  friend bool operator==(const JsonValue& a, const JsonValue& b) {
+    return a.v_ == b.v_;
+  }
+
+ private:
+  std::variant<std::monostate, bool, double, std::string, Array, Members> v_;
+};
+
+/// Format a number the way the writer does (shortest round-trip form,
+/// integers without a trailing ".0") — shared with the CSV/markdown
+/// renderers so all three formats agree on digits.
+[[nodiscard]] std::string format_json_number(double v);
+
+}  // namespace sapp::repro

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Markdown link checker for README.md and docs/.
+
+Verifies that every relative link and image target in the repo's markdown
+documentation resolves to an existing file or directory, so refactors
+cannot silently break doc cross-references. External (http/https/mailto)
+links and pure intra-file anchors (#...) are skipped; anchors on relative
+links are stripped before the existence check.
+
+Standard library only. Exit code: 0 = all links resolve, 1 = broken links
+(each printed as file:line: target).
+"""
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+# Inline links/images: [text](target) / ![alt](target). Reference-style
+# definitions: [label]: target
+INLINE_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+REF_DEF = re.compile(r"^\s*\[[^\]]+\]:\s+(\S+)")
+FENCE = re.compile(r"^\s*(```|~~~)")
+
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def iter_markdown_files(root: Path):
+    yield root / "README.md"
+    yield from sorted((root / "docs").rglob("*.md"))
+
+
+def check_file(md: Path, root: Path) -> list[str]:
+    errors = []
+    in_fence = False
+    for lineno, line in enumerate(md.read_text(encoding="utf-8").splitlines(), 1):
+        if FENCE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        targets = INLINE_LINK.findall(line)
+        ref = REF_DEF.match(line)
+        if ref:
+            targets.append(ref.group(1))
+        for target in targets:
+            if target.startswith(SKIP_PREFIXES):
+                continue
+            path_part = target.split("#", 1)[0]
+            if not path_part:
+                continue
+            if path_part.startswith("/"):
+                errors.append(
+                    f"{md.relative_to(root)}:{lineno}: absolute path '{target}'"
+                )
+                continue
+            resolved = (md.parent / path_part).resolve()
+            try:
+                resolved.relative_to(root.resolve())
+            except ValueError:
+                errors.append(
+                    f"{md.relative_to(root)}:{lineno}: '{target}' escapes the repo"
+                )
+                continue
+            if not resolved.exists():
+                errors.append(f"{md.relative_to(root)}:{lineno}: broken link '{target}'")
+    return errors
+
+
+def main() -> int:
+    root = Path(__file__).resolve().parent.parent
+    errors: list[str] = []
+    checked = 0
+    for md in iter_markdown_files(root):
+        if not md.exists():
+            errors.append(f"missing expected file: {md.relative_to(root)}")
+            continue
+        checked += 1
+        errors.extend(check_file(md, root))
+    if errors:
+        print(f"{len(errors)} broken doc link(s) across {checked} file(s):")
+        for e in errors:
+            print(f"  {e}")
+        return 1
+    print(f"OK: all relative links resolve across {checked} markdown file(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
