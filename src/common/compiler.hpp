@@ -1,0 +1,34 @@
+// Compiler hints used by the hot kernels.
+//
+// The scheme inner loops walk several arrays (row pointers, indices,
+// values, private accumulators) that never alias; telling the compiler so
+// unlocks unrolling and vectorization it must otherwise forgo. Kept as a
+// macro because `restrict` is not standard C++ and the spelling differs
+// per compiler.
+#pragma once
+
+#if defined(__GNUC__) || defined(__clang__)
+#define SAPP_RESTRICT __restrict__
+#elif defined(_MSC_VER)
+#define SAPP_RESTRICT __restrict
+#else
+#define SAPP_RESTRICT
+#endif
+
+namespace sapp {
+
+/// Pause/yield hint for bounded spin loops: keeps the spinning hardware
+/// thread from starving its sibling and lowers exit latency from the spin.
+inline void cpu_relax() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__) || defined(__arm__)
+  asm volatile("yield" ::: "memory");
+#else
+  // No architectural pause available; a compiler barrier at least forces
+  // the re-load in the spin condition.
+  asm volatile("" ::: "memory");
+#endif
+}
+
+}  // namespace sapp

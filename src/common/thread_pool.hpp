@@ -1,17 +1,37 @@
-// Persistent fork-join thread pool.
+// Persistent low-overhead fork-join thread pool.
 //
 // Every parallel region in the library runs on this pool: the reduction
 // schemes, the speculative-runtime substrate and the examples. Keeping the
 // workers alive across invocations removes thread create/join cost from the
 // measured phase times — the same property the paper's run-time library has.
+//
+// The dispatch path is built for very small regions (the Init/Merge phases
+// the paper's schemes try to shrink are often microseconds):
+//   - the calling thread participates as worker 0, so a pool of P uses
+//     exactly P hardware contexts and a pool of 1 never synchronizes;
+//   - `run`/`parallel_for` are templates that erase the body to one raw
+//     function pointer + context pointer — no std::function, no heap
+//     allocation, no virtual call per region;
+//   - helper threads wait with a bounded spin (cpu_relax) before falling
+//     back to a futex-backed std::atomic wait, so back-to-back regions
+//     never pay a sleep/wake round trip;
+//   - fork/join state lives on dedicated cache lines (alignas(kCacheLine))
+//     so the epoch broadcast, the join counter and the dynamic-scheduling
+//     cursor never false-share;
+//   - `parallel_for_dynamic` claims chunks from that padded atomic cursor
+//     instead of taking a lock.
+// The `overhead` experiment (src/repro/exp_overhead.cpp) measures this
+// design against the previous mutex+condvar+std::function pool.
 #pragma once
 
-#include <condition_variable>
+#include <atomic>
 #include <cstddef>
-#include <functional>
-#include <mutex>
+#include <cstdint>
+#include <memory>
 #include <thread>
 #include <vector>
+
+#include "common/aligned.hpp"
 
 namespace sapp {
 
@@ -25,8 +45,14 @@ struct Range {
 
 /// Contiguous block of a [0, n) iteration space owned by thread `tid` out of
 /// `nthreads`, with remainder iterations spread over the leading threads.
+///
+/// Edge cases are explicit: `nthreads == 0` (or `tid >= nthreads`) yields an
+/// empty range, and when `n < nthreads` the first `n` threads receive one
+/// iteration each while the rest receive empty ranges — so the union over
+/// tids always covers [0, n) exactly once.
 [[nodiscard]] constexpr Range static_block(std::size_t n, unsigned tid,
                                            unsigned nthreads) {
+  if (nthreads == 0 || tid >= nthreads) return Range{n, n};
   const std::size_t per = n / nthreads;
   const std::size_t rem = n % nthreads;
   const std::size_t lo =
@@ -35,16 +61,22 @@ struct Range {
   return Range{lo, lo + len};
 }
 
-/// Fixed-size pool of worker threads executing fork-join parallel regions.
+/// Fixed-size fork-join pool of `size()` workers, one of which is the
+/// calling thread.
 ///
-/// `run(f)` invokes `f(tid)` once on each of `size()` workers and returns
-/// when all have finished. `parallel_for` partitions an index range
-/// statically in blocks; `parallel_for_dynamic` hands out fixed-size chunks
-/// from a shared counter (self-scheduling).
+/// `run(f)` invokes `f(tid)` once for each tid in [0, size()) and returns
+/// when all have finished; tid 0 always executes on the calling thread.
+/// `parallel_for` partitions an index range statically in blocks;
+/// `parallel_for_dynamic` hands out fixed-size chunks from a shared padded
+/// counter (self-scheduling).
+///
+/// Regions must be dispatched from one thread at a time (the owner of the
+/// fork-join structure), must not throw, and must not recursively dispatch
+/// onto the same pool — the same discipline the previous condvar pool had.
 class ThreadPool {
  public:
-  /// Create a pool with `nthreads` workers (>=1). The calling thread does
-  /// not participate; it blocks in `run` until the workers finish.
+  /// Create a pool with `nthreads` workers (>=1). `nthreads - 1` helper
+  /// threads are spawned; the calling thread is worker 0 of every region.
   explicit ThreadPool(unsigned nthreads);
   ~ThreadPool();
 
@@ -53,34 +85,80 @@ class ThreadPool {
 
   [[nodiscard]] unsigned size() const { return nthreads_; }
 
-  /// Execute `f(tid)` on every worker; blocks until all complete.
-  /// Exceptions escaping `f` terminate (parallel regions must not throw,
-  /// matching the no-throw discipline of the schemes).
-  void run(const std::function<void(unsigned)>& f);
+  /// Execute `f(tid)` once per worker; blocks until all complete. The body
+  /// is captured by reference for the duration of the region only — no
+  /// copy, no allocation. Exceptions escaping `f` terminate (parallel
+  /// regions must not throw, matching the no-throw discipline of the
+  /// schemes).
+  template <typename F>
+  void run(F&& f) {
+    using Fn = std::remove_reference_t<F>;
+    dispatch(
+        [](void* ctx, unsigned tid) { (*static_cast<Fn*>(ctx))(tid); },
+        const_cast<void*>(static_cast<const void*>(std::addressof(f))));
+  }
 
   /// Statically blocked parallel loop over [0, n):
-  /// each worker receives one contiguous `Range`.
-  void parallel_for(std::size_t n,
-                    const std::function<void(unsigned, Range)>& body);
+  /// each worker receives one contiguous `Range` (empty ranges skipped).
+  template <typename F>
+  void parallel_for(std::size_t n, F&& body) {
+    run([&](unsigned tid) {
+      const Range r = static_block(n, tid, nthreads_);
+      if (!r.empty()) body(tid, r);
+    });
+  }
 
   /// Dynamically scheduled parallel loop over [0, n) with chunks of
-  /// `chunk` iterations claimed from a shared counter.
-  void parallel_for_dynamic(std::size_t n, std::size_t chunk,
-                            const std::function<void(unsigned, Range)>& body);
+  /// `chunk` iterations claimed from a padded shared counter.
+  template <typename F>
+  void parallel_for_dynamic(std::size_t n, std::size_t chunk, F&& body) {
+    require_positive_chunk(chunk);
+    cursor_.store(0, std::memory_order_relaxed);
+    run([&](unsigned tid) {
+      for (;;) {
+        const std::size_t lo =
+            cursor_.fetch_add(chunk, std::memory_order_relaxed);
+        if (lo >= n) break;
+        const std::size_t hi = lo + chunk < n ? lo + chunk : n;
+        body(tid, Range{lo, hi});
+      }
+    });
+  }
 
  private:
+  using RawFn = void (*)(void* ctx, unsigned tid);
+
+  /// Type-erased region dispatch: publish (fn, ctx), release the helpers,
+  /// run worker 0 inline, then join. Defined in thread_pool.cpp.
+  void dispatch(RawFn fn, void* ctx);
   void worker_main(unsigned tid);
+  static void require_positive_chunk(std::size_t chunk);
 
   unsigned nthreads_;
-  std::vector<std::thread> workers_;
+  /// Spin budget before parking: full when every worker can own a
+  /// hardware context, ~zero when the pool oversubscribes the machine
+  /// (spinning would steal the quantum the other workers need).
+  int spin_iters_ = 1;
+  std::vector<std::thread> helpers_;  // nthreads_ - 1 threads, tids 1..P-1
 
-  std::mutex mu_;
-  std::condition_variable cv_start_;
-  std::condition_variable cv_done_;
-  const std::function<void(unsigned)>* job_ = nullptr;
-  std::uint64_t epoch_ = 0;
-  unsigned remaining_ = 0;
+  // Fork side. `fn_`/`ctx_` are plain: they are written by the dispatching
+  // thread before the epoch release-store and read by helpers only after
+  // an acquire-load observes the new epoch.
+  RawFn fn_ = nullptr;
+  void* ctx_ = nullptr;
   bool stop_ = false;
+  alignas(kCacheLine) std::atomic<std::uint64_t> epoch_{0};
+  /// Helpers currently parked in epoch_.wait (gates the futex wake).
+  alignas(kCacheLine) std::atomic<unsigned> sleepers_{0};
+
+  // Join side.
+  alignas(kCacheLine) std::atomic<unsigned> remaining_{0};
+  /// Caller parked in remaining_.wait (gates the helpers' futex wake).
+  alignas(kCacheLine) std::atomic<bool> caller_waiting_{false};
+
+  /// Self-scheduling cursor for parallel_for_dynamic, on its own line so
+  /// chunk claims never contend with fork/join state.
+  alignas(kCacheLine) std::atomic<std::size_t> cursor_{0};
 };
 
 }  // namespace sapp

@@ -7,8 +7,12 @@
 // (exactly the role the PCLR hardware's "line of neutral elements" plays).
 #pragma once
 
+#include <algorithm>
 #include <atomic>
+#include <bit>
 #include <concepts>
+#include <cstdint>
+#include <cstring>
 #include <limits>
 
 namespace sapp {
@@ -56,6 +60,22 @@ struct MinOp {
   static constexpr T apply(T a, T b) { return a < b ? a : b; }
   static constexpr const char* name() { return "min"; }
 };
+
+/// Fill `n` doubles with Op's neutral element. When the neutral element is
+/// all-zero bits (+0.0 — checked via bit_cast, so a hypothetical -0.0
+/// neutral is not mis-memset), this is a plain memset: the software
+/// analogue of the PCLR hardware's "line of neutral elements" fill, and
+/// the fast path of every privatizing scheme's Init phase.
+template <typename Op>
+  requires ReductionOp<Op, double>
+inline void fill_neutral(double* p, std::size_t n) {
+  if constexpr (std::bit_cast<std::uint64_t>(
+                    static_cast<double>(Op::neutral())) == 0) {
+    std::memset(p, 0, n * sizeof(double));
+  } else {
+    std::fill(p, p + n, Op::neutral());
+  }
+}
 
 /// Lock-free accumulate of `v` into `*p` under operator Op using a CAS
 /// loop over std::atomic_ref. Used by the atomic baseline and by merge

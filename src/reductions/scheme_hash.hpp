@@ -12,6 +12,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/compiler.hpp"
 #include "reductions/reduction_op.hpp"
 #include "reductions/scheme.hpp"
 
@@ -127,20 +128,38 @@ class HashScheme final : public Scheme {
     t.restart();
     pool.parallel_for(in.pattern.iterations(), [&](unsigned tid, Range rg) {
       auto& tb = pl->tables[tid];
+      const std::uint64_t* SAPP_RESTRICT rp = ptr.data();
+      const std::uint32_t* SAPP_RESTRICT ix = idx.data();
+      const double* SAPP_RESTRICT v = vals;
       for (std::size_t i = rg.begin; i < rg.end; ++i) {
         const double s = iteration_scale(i, flops);
-        for (std::uint64_t j = ptr[i]; j < ptr[i + 1]; ++j)
-          tb.accumulate(idx[j], vals[j] * s);
+        for (std::uint64_t j = rp[i]; j < rp[i + 1]; ++j)
+          tb.accumulate(ix[j], v[j] * s);
       }
     });
     r.phases.loop_s = t.seconds();
 
+    // Merge: each worker owns a block of the element space and scans every
+    // thread's table in ascending thread order, folding in only the owned
+    // keys — no atomics, and the per-element combine order is fixed, so the
+    // result is deterministic. The P-fold scan amplification is cheap:
+    // tables scale with the touched set, which is small whenever hash is
+    // the right scheme.
     t.restart();
+    const unsigned P = pool.size();
     pool.run([&](unsigned tid) {
-      auto& tb = pl->tables[tid];
-      for (std::size_t h = 0; h < tb.key.size(); ++h)
-        if (tb.key[h] != Table::kEmpty)
-          atomic_accumulate<Op>(out.data() + tb.key[h], tb.val[h]);
+      const Range own = static_block(in.pattern.dim, tid, P);
+      for (unsigned q = 0; q < P; ++q) {
+        const auto& tb = pl->tables[q];
+        const std::uint32_t* SAPP_RESTRICT key = tb.key.data();
+        const double* SAPP_RESTRICT val = tb.val.data();
+        const std::size_t cap = tb.key.size();
+        for (std::size_t h = 0; h < cap; ++h) {
+          const std::uint32_t k = key[h];
+          if (k != Table::kEmpty && k - own.begin < own.size())
+            out[k] = Op::apply(out[k], val[h]);
+        }
+      }
     });
     r.phases.merge_s = t.seconds();
 

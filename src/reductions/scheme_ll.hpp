@@ -5,11 +5,18 @@
 // list. Re-initialization between invocations and the merge both walk only
 // the touched entries, so the scheme's overhead scales with the touched set
 // rather than with the array dimension.
+//
+// Merge partitions the element space: each worker walks every thread's
+// touched list and folds in only the elements it owns, in ascending thread
+// order. That trades a P-fold walk amplification (cheap: ll is selected
+// when touched « dim) for a merge with no atomics and a deterministic
+// floating-point combine order — the previous CAS-based merge was neither.
 #pragma once
 
 #include <memory>
 #include <vector>
 
+#include "common/compiler.hpp"
 #include "reductions/reduction_op.hpp"
 #include "reductions/scheme.hpp"
 
@@ -87,32 +94,43 @@ class LinkedScheme final : public Scheme {
     t.restart();
     pool.parallel_for(in.pattern.iterations(), [&](unsigned tid, Range rg) {
       auto& b = pl->bufs[tid];
-      double* val = b.val.data();
-      std::int32_t* next = b.next.data();
+      double* SAPP_RESTRICT val = b.val.data();
+      std::int32_t* SAPP_RESTRICT next = b.next.data();
+      const std::uint64_t* SAPP_RESTRICT rp = ptr.data();
+      const std::uint32_t* SAPP_RESTRICT ix = idx.data();
+      const double* SAPP_RESTRICT v = vals;
       for (std::size_t i = rg.begin; i < rg.end; ++i) {
         const double s = iteration_scale(i, flops);
-        for (std::uint64_t j = ptr[i]; j < ptr[i + 1]; ++j) {
-          const std::uint32_t e = idx[j];
+        for (std::uint64_t j = rp[i]; j < rp[i + 1]; ++j) {
+          const std::uint32_t e = ix[j];
           if (next[e] == kUntouched) {  // first touch: link + neutralize
             val[e] = Op::neutral();
             next[e] = b.head;
             b.head = static_cast<std::int32_t>(e);
           }
-          val[e] = Op::apply(val[e], vals[j] * s);
+          val[e] = Op::apply(val[e], v[j] * s);
         }
       }
     });
     r.phases.loop_s = t.seconds();
 
-    // Merge: each thread folds its own touched list into the shared array;
-    // cross-thread overlap is handled with atomic updates.
+    // Merge: each worker owns a block of the element space and walks every
+    // thread's touched list in ascending thread order, folding in only the
+    // owned elements — synchronization-free and deterministic (see file
+    // comment).
     t.restart();
+    const unsigned P = pool.size();
     pool.run([&](unsigned tid) {
-      auto& b = pl->bufs[tid];
-      std::int32_t e = b.head;
-      while (e != kNil) {
-        atomic_accumulate<Op>(out.data() + e, b.val[e]);
-        e = b.next[e];
+      const Range own = static_block(dim, tid, P);
+      for (unsigned q = 0; q < P; ++q) {
+        const auto& b = pl->bufs[q];
+        const double* SAPP_RESTRICT val = b.val.data();
+        const std::int32_t* SAPP_RESTRICT next = b.next.data();
+        for (std::int32_t e = b.head; e != kNil; e = next[e]) {
+          const auto ue = static_cast<std::size_t>(e);
+          if (ue - own.begin < own.size())
+            out[ue] = Op::apply(out[ue], val[ue]);
+        }
       }
     });
     r.phases.merge_s = t.seconds();

@@ -13,6 +13,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/compiler.hpp"
 #include "reductions/reduction_op.hpp"
 #include "reductions/scheme.hpp"
 
@@ -88,11 +89,20 @@ class LocalWriteScheme final : public Scheme {
     pool.run([&](unsigned tid) {
       const std::size_t lo = static_cast<std::size_t>(tid) * blk;
       const std::size_t hi = lo + blk < dim ? lo + blk : dim;
-      for (const std::uint32_t i : pl->iters[tid]) {
+      const std::size_t len = hi > lo ? hi - lo : 0;
+      const std::uint32_t* SAPP_RESTRICT my_iters = pl->iters[tid].data();
+      const std::size_t my_count = pl->iters[tid].size();
+      const std::uint64_t* SAPP_RESTRICT rp = ptr.data();
+      const std::uint32_t* SAPP_RESTRICT ix = idx.data();
+      const double* SAPP_RESTRICT v = vals;
+      double* SAPP_RESTRICT o = out.data();
+      for (std::size_t q = 0; q < my_count; ++q) {
+        const std::uint32_t i = my_iters[q];
         const double s = iteration_scale(i, flops);  // replicated body work
-        for (std::uint64_t j = ptr[i]; j < ptr[i + 1]; ++j) {
-          const std::uint32_t e = idx[j];
-          if (e >= lo && e < hi) out[e] = Op::apply(out[e], vals[j] * s);
+        for (std::uint64_t j = rp[i]; j < rp[i + 1]; ++j) {
+          const std::uint32_t e = ix[j];
+          // Single-compare ownership test: e in [lo, hi) iff e-lo < len.
+          if (e - lo < len) o[e] = Op::apply(o[e], v[j] * s);
         }
       }
     });

@@ -12,6 +12,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/compiler.hpp"
 #include "reductions/reduction_op.hpp"
 #include "reductions/scheme.hpp"
 
@@ -86,20 +87,23 @@ class SelectiveScheme final : public Scheme {
     Timer t;
     pool.run([&](unsigned tid) {
       auto& mine = pl->priv[tid];
-      std::fill(mine.begin(), mine.end(), Op::neutral());
+      fill_neutral<Op>(mine.data(), mine.size());  // memset when neutral==+0.0
     });
     r.phases.init_s = t.seconds();
 
     t.restart();
     pool.parallel_for(in.pattern.iterations(), [&](unsigned tid, Range rg) {
-      double* mine = pl->priv[tid].data();
-      const std::int32_t* slot = pl->slot.data();
+      double* SAPP_RESTRICT mine = pl->priv[tid].data();
+      const std::int32_t* SAPP_RESTRICT slot = pl->slot.data();
+      const std::uint64_t* SAPP_RESTRICT rp = ptr.data();
+      const std::uint32_t* SAPP_RESTRICT ix = idx.data();
+      const double* SAPP_RESTRICT v = vals;
       for (std::size_t i = rg.begin; i < rg.end; ++i) {
         const double s = iteration_scale(i, flops);
-        for (std::uint64_t j = ptr[i]; j < ptr[i + 1]; ++j) {
-          const std::uint32_t e = idx[j];
+        for (std::uint64_t j = rp[i]; j < rp[i + 1]; ++j) {
+          const std::uint32_t e = ix[j];
           const std::int32_t sl = slot[e];
-          const double contrib = vals[j] * s;
+          const double contrib = v[j] * s;
           if (sl >= 0)
             mine[sl] = Op::apply(mine[sl], contrib);
           else  // exclusive to this thread under the block schedule
@@ -109,13 +113,26 @@ class SelectiveScheme final : public Scheme {
     });
     r.phases.loop_s = t.seconds();
 
+    // Merge: gather a tile of shared elements into a stack buffer once,
+    // stream each thread's compact private row through the tile with unit
+    // stride, then scatter back. Copies combine in ascending thread order
+    // per slot — bitwise identical to the per-slot fold, but the per-copy
+    // inner loop is contiguous and vectorizable.
     t.restart();
     pool.parallel_for(nshared, [&](unsigned, Range rg) {
-      for (std::size_t sl = rg.begin; sl < rg.end; ++sl) {
-        double acc = out[pl->shared_elems[sl]];
-        for (unsigned q = 0; q < P; ++q)
-          acc = Op::apply(acc, pl->priv[q][sl]);
-        out[pl->shared_elems[sl]] = acc;
+      constexpr std::size_t kTile = 1024;  // 8 KiB stack buffer
+      double acc[kTile];
+      const std::uint32_t* SAPP_RESTRICT se = pl->shared_elems.data();
+      for (std::size_t t0 = rg.begin; t0 < rg.end; t0 += kTile) {
+        const std::size_t len =
+            (rg.end - t0 < kTile) ? rg.end - t0 : kTile;
+        for (std::size_t k = 0; k < len; ++k) acc[k] = out[se[t0 + k]];
+        for (unsigned q = 0; q < P; ++q) {
+          const double* SAPP_RESTRICT src = pl->priv[q].data() + t0;
+          for (std::size_t k = 0; k < len; ++k)
+            acc[k] = Op::apply(acc[k], src[k]);
+        }
+        for (std::size_t k = 0; k < len; ++k) out[se[t0 + k]] = acc[k];
       }
     });
     r.phases.merge_s = t.seconds();

@@ -26,7 +26,7 @@ namespace sapp::repro {
 /// User-selected knobs (0 = "use the default for this experiment/host").
 struct RunOptions {
   double scale = 0.0;    ///< workload scale; 0 = experiment default
-  unsigned threads = 0;  ///< software threads; 0 = min(8, 2 x hw threads)
+  unsigned threads = 0;  ///< software threads; 0 = hardware_concurrency()
   int reps = 0;          ///< timing repetitions; 0 = experiment default (3)
   int warmup = -1;       ///< warmup runs before timing; -1 = default (1)
   bool tiny = false;     ///< smoke sizes: ~1/10 scale, 1 rep, no warmup
@@ -44,7 +44,8 @@ class RunContext {
   /// Tiny mode clamps to one tenth of the default, within [0.01, 0.05].
   [[nodiscard]] double scale(double experiment_default) const;
 
-  /// Software-scheme thread count (the paper used 8 processors).
+  /// Software-scheme thread count; defaults to one per hardware context
+  /// (the paper's 8-processor setup is an explicit override).
   [[nodiscard]] unsigned threads() const { return threads_; }
   /// Timing repetitions (median-of-reps is the reported statistic).
   [[nodiscard]] int reps() const { return opt_.tiny ? 1 : reps_; }

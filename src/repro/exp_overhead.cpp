@@ -1,0 +1,223 @@
+// Parallel-substrate overhead experiment:
+//   overhead — fork-join dispatch latency and parallel_for throughput of
+//              sapp::ThreadPool versus the previous-generation pool design.
+//
+// Every phase time the repo reproduces (Fig. 3 rankings, the Fig. 6
+// Init/Loop/Merge breakdown, Fig. 7 scalability) is measured on top of the
+// fork-join substrate, so its per-region cost is a floor under all of them.
+// This experiment keeps the old design — mutex+condvar handshake, a
+// std::function materialized per region, the caller blocked instead of
+// participating — alive as `LegacyCondvarPool` so the comparison is
+// measured by the harness on the current host, not claimed in prose.
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <condition_variable>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "common/timer.hpp"
+#include "repro/registry.hpp"
+
+namespace sapp::repro {
+
+namespace {
+
+/// The seed repository's ThreadPool, verbatim in behaviour: `nthreads`
+/// detached-from-caller workers, one mutex + two condition variables per
+/// region, dispatch through `const std::function&` (so every `run(lambda)`
+/// call site allocates a std::function), and a caller that blocks idle —
+/// oversubscribing the machine by one thread. Kept here purely as the
+/// measured baseline.
+class LegacyCondvarPool {
+ public:
+  explicit LegacyCondvarPool(unsigned nthreads) : nthreads_(nthreads) {
+    workers_.reserve(nthreads_);
+    for (unsigned t = 0; t < nthreads_; ++t)
+      workers_.emplace_back([this, t] { worker_main(t); });
+  }
+
+  ~LegacyCondvarPool() {
+    {
+      std::scoped_lock lk(mu_);
+      stop_ = true;
+    }
+    cv_start_.notify_all();
+    for (auto& w : workers_) w.join();
+  }
+
+  [[nodiscard]] unsigned size() const { return nthreads_; }
+
+  void run(const std::function<void(unsigned)>& f) {
+    std::unique_lock lk(mu_);
+    job_ = &f;
+    remaining_ = nthreads_;
+    ++epoch_;
+    cv_start_.notify_all();
+    cv_done_.wait(lk, [&] { return remaining_ == 0; });
+    job_ = nullptr;
+  }
+
+  void parallel_for(std::size_t n,
+                    const std::function<void(unsigned, Range)>& body) {
+    run([&](unsigned tid) {
+      const Range r = static_block(n, tid, nthreads_);
+      if (!r.empty()) body(tid, r);
+    });
+  }
+
+ private:
+  void worker_main(unsigned tid) {
+    std::uint64_t seen = 0;
+    for (;;) {
+      const std::function<void(unsigned)>* job;
+      {
+        std::unique_lock lk(mu_);
+        cv_start_.wait(lk, [&] { return stop_ || epoch_ != seen; });
+        if (stop_ && epoch_ == seen) return;
+        seen = epoch_;
+        job = job_;
+      }
+      (*job)(tid);
+      {
+        std::scoped_lock lk(mu_);
+        if (--remaining_ == 0) cv_done_.notify_one();
+      }
+    }
+  }
+
+  unsigned nthreads_;
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  const std::function<void(unsigned)>* job_ = nullptr;
+  std::uint64_t epoch_ = 0;
+  unsigned remaining_ = 0;
+  bool stop_ = false;
+};
+
+/// Median-of-reps nanoseconds per region for `regions` back-to-back empty
+/// dispatches on either pool type.
+template <typename Pool>
+double empty_region_ns(RunContext& ctx, Pool& pool, int regions) {
+  const double secs = ctx.measure([&] {
+    Timer t;
+    for (int k = 0; k < regions; ++k) pool.run([](unsigned) {});
+    return t.seconds();
+  });
+  return secs / regions * 1e9;
+}
+
+/// Median-of-reps nanoseconds per parallel_for region of size n (daxpy
+/// body: memory-streaming work representative of Init/Merge phases).
+template <typename Pool>
+double daxpy_region_ns(RunContext& ctx, Pool& pool, std::vector<double>& y,
+                       const std::vector<double>& x, std::size_t n,
+                       int regions) {
+  const double secs = ctx.measure([&] {
+    Timer t;
+    for (int k = 0; k < regions; ++k)
+      pool.parallel_for(n, [&](unsigned, Range rg) {
+        for (std::size_t i = rg.begin; i < rg.end; ++i)
+          y[i] = y[i] * 0.999999 + x[i];
+      });
+    return t.seconds();
+  });
+  return secs / regions * 1e9;
+}
+
+// The `overhead` experiment. Latency rows compare empty-region dispatch;
+// throughput rows sweep the region size to show where dispatch overhead
+// stops mattering; the dynamic table prices chunk self-scheduling.
+ExperimentResult run_overhead(RunContext& ctx) {
+  ThreadPool& pool = ctx.pool();
+  LegacyCondvarPool legacy(ctx.threads());
+
+  ExperimentResult res;
+
+  // --- fork-join latency, empty regions -------------------------------
+  const int regions = ctx.tiny() ? 2000 : 50000;
+  const double ns_new = empty_region_ns(ctx, pool, regions);
+  const double ns_legacy = empty_region_ns(ctx, legacy, regions);
+  const double speedup = ns_new > 0.0 ? ns_legacy / ns_new : 0.0;
+
+  ResultTable lat("fork_join_latency",
+                  {"Pool", "Threads", "Regions", "ns/region"});
+  lat.add_row({"fork-join (this repo)", pool.size(),
+               static_cast<double>(regions), round_to(ns_new, 1)});
+  lat.add_row({"condvar+std::function (seed)", legacy.size(),
+               static_cast<double>(regions), round_to(ns_legacy, 1)});
+  res.tables.push_back(std::move(lat));
+
+  // --- parallel_for throughput vs region size -------------------------
+  const std::size_t max_n = ctx.tiny() ? (1u << 14) : (1u << 21);
+  std::vector<double> y(max_n, 1.0), x(max_n, 0.5);
+  ResultTable tp("parallel_for_throughput",
+                 {"Elements", "ns/region (new)", "ns/region (legacy)",
+                  "Melem/s (new)", "Melem/s (legacy)"});
+  for (std::size_t n = 1u << 10; n <= max_n; n <<= 2) {
+    const int r = static_cast<int>(
+        std::max<std::size_t>(4, (ctx.tiny() ? 1u << 16 : 1u << 22) / n));
+    const double nn = daxpy_region_ns(ctx, pool, y, x, n, r);
+    const double nl = daxpy_region_ns(ctx, legacy, y, x, n, r);
+    tp.add_row({static_cast<double>(n), round_to(nn, 1), round_to(nl, 1),
+                round_to(n / nn * 1e3, 1), round_to(n / nl * 1e3, 1)});
+  }
+  res.tables.push_back(std::move(tp));
+
+  // --- dynamic self-scheduling: chunk-claim cost ----------------------
+  const std::size_t dyn_n = ctx.tiny() ? (1u << 13) : (1u << 17);
+  const int dyn_regions = ctx.tiny() ? 20 : 200;
+  ResultTable dyn("dynamic_chunk_claim",
+                  {"Chunk", "ns/region", "ns/chunk (incl body)"});
+  for (const std::size_t chunk : {16u, 256u, 4096u}) {
+    const double secs = ctx.measure([&] {
+      Timer t;
+      for (int k = 0; k < dyn_regions; ++k)
+        pool.parallel_for_dynamic(dyn_n, chunk, [&](unsigned, Range rg) {
+          for (std::size_t i = rg.begin; i < rg.end; ++i)
+            y[i % max_n] = y[i % max_n] * 0.999999 + 1e-9;
+        });
+      return t.seconds();
+    });
+    const double per_region = secs / dyn_regions * 1e9;
+    const double chunks = static_cast<double>((dyn_n + chunk - 1) / chunk);
+    dyn.add_row({static_cast<double>(chunk), round_to(per_region, 1),
+                 round_to(per_region / chunks, 2)});
+  }
+  res.tables.push_back(std::move(dyn));
+
+  res.metric("threads", pool.size());
+  res.metric("fork_join_ns_new", round_to(ns_new, 1));
+  res.metric("fork_join_ns_legacy", round_to(ns_legacy, 1));
+  res.metric("fork_join_speedup", round_to(speedup, 2));
+  res.note("fork_join_speedup = legacy ns/region divided by new ns/region "
+           "for empty fork-join regions (dispatch latency only); the PR "
+           "gate is >= 3x.");
+  res.note("The legacy pool is the seed implementation kept verbatim "
+           "(mutex+condvar handshake, std::function per region, "
+           "non-participating caller) so the comparison is re-measured on "
+           "every host rather than claimed from old logs.");
+  res.note("parallel_for rows show where dispatch cost is amortized: the "
+           "two pools converge as the region grows memory-bound.");
+  return res;
+}
+
+}  // namespace
+
+void register_overhead_experiments(ExperimentRegistry& r) {
+  r.add({.name = "overhead",
+         .title = "fork-join substrate overhead (latency + throughput)",
+         .paper_ref = "substrate (ROADMAP)",
+         .description =
+             "Measure per-region fork-join latency and parallel_for "
+             "throughput of the zero-allocation pool against the seed "
+             "condvar/std::function design, plus dynamic chunk-claim cost.",
+         .default_scale = 1.0,
+         .run = run_overhead});
+}
+
+}  // namespace sapp::repro

@@ -36,6 +36,7 @@ ExperimentRegistry& builtin_experiments() {
     register_software_experiments(*r);
     register_simulation_experiments(*r);
     register_speculation_experiments(*r);
+    register_overhead_experiments(*r);
     return r;
   }();
   return *registry;

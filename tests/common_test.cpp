@@ -2,9 +2,13 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <functional>
+#include <mutex>
 #include <numeric>
 #include <set>
 #include <thread>
+#include <vector>
 
 #include "common/aligned.hpp"
 #include "common/barrier.hpp"
@@ -135,6 +139,41 @@ TEST(StaticBlock, BalancedWithinOne) {
   }
 }
 
+TEST(StaticBlock, ZeroThreadsYieldsEmptyRange) {
+  const Range r = static_block(100, 0, 0);
+  EXPECT_TRUE(r.empty());
+  EXPECT_EQ(r.size(), 0u);
+}
+
+TEST(StaticBlock, TidBeyondPoolYieldsEmptyRange) {
+  EXPECT_TRUE(static_block(100, 4, 4).empty());
+  EXPECT_TRUE(static_block(100, 99, 4).empty());
+}
+
+TEST(StaticBlock, FewerItemsThanThreads) {
+  // n < nthreads: the first n threads get exactly one iteration each, the
+  // rest get empty ranges; the union still covers [0, n) exactly once.
+  constexpr std::size_t n = 3;
+  constexpr unsigned p = 8;
+  for (unsigned t = 0; t < p; ++t) {
+    const Range r = static_block(n, t, p);
+    if (t < n) {
+      EXPECT_EQ(r.begin, t);
+      EXPECT_EQ(r.size(), 1u);
+    } else {
+      EXPECT_TRUE(r.empty());
+    }
+  }
+}
+
+TEST(StaticBlock, RemainderGoesToLeadingThreads) {
+  // 10 items over 4 threads: sizes 3,3,2,2.
+  EXPECT_EQ(static_block(10, 0, 4).size(), 3u);
+  EXPECT_EQ(static_block(10, 1, 4).size(), 3u);
+  EXPECT_EQ(static_block(10, 2, 4).size(), 2u);
+  EXPECT_EQ(static_block(10, 3, 4).size(), 2u);
+}
+
 // ---------------- SpinBarrier ----------------
 
 TEST(SpinBarrier, SynchronizesPhases) {
@@ -199,6 +238,96 @@ TEST(ThreadPool, EmptyRangeDoesNotInvokeBody) {
   std::atomic<int> calls{0};
   pool.parallel_for(0, [&](unsigned, Range) { calls.fetch_add(1); });
   EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPool, CallerParticipatesAsWorkerZero) {
+  ThreadPool pool(4);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::thread::id tid0{};
+  std::set<std::thread::id> others;
+  std::mutex mu;
+  pool.run([&](unsigned tid) {
+    if (tid == 0) {
+      tid0 = std::this_thread::get_id();
+    } else {
+      std::scoped_lock lk(mu);
+      others.insert(std::this_thread::get_id());
+    }
+  });
+  EXPECT_EQ(tid0, caller);
+  EXPECT_EQ(others.size(), 3u);
+  EXPECT_EQ(others.count(caller), 0u);
+}
+
+TEST(ThreadPool, SingleThreadPoolRunsInlineOnCaller) {
+  ThreadPool pool(1);
+  std::thread::id seen{};
+  pool.run([&](unsigned tid) {
+    EXPECT_EQ(tid, 0u);
+    seen = std::this_thread::get_id();
+  });
+  EXPECT_EQ(seen, std::this_thread::get_id());
+}
+
+TEST(ThreadPool, ManyBackToBackRegions) {
+  // The regression the spin-then-block design targets: thousands of tiny
+  // regions in a row must all dispatch and join correctly whether workers
+  // are caught spinning or have parked.
+  ThreadPool pool(3);
+  std::atomic<std::uint64_t> total{0};
+  constexpr int kRegions = 5000;
+  for (int k = 0; k < kRegions; ++k)
+    pool.run([&](unsigned tid) { total.fetch_add(tid + 1); });
+  EXPECT_EQ(total.load(), static_cast<std::uint64_t>(kRegions) * (1 + 2 + 3));
+}
+
+TEST(ThreadPool, RegionsInterleavedWithSleepPark) {
+  // Let the workers exhaust their spin budget and park between regions;
+  // the next dispatch must wake them.
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  for (int k = 0; k < 3; ++k) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    pool.run([&](unsigned) { total.fetch_add(1); });
+  }
+  EXPECT_EQ(total.load(), 6);
+}
+
+TEST(ThreadPool, DynamicClaimsEveryIndexExactlyOnce) {
+  // Chunk size not dividing n, n not dividing threads: every index must be
+  // claimed exactly once across all chunk shapes.
+  ThreadPool pool(4);
+  for (const std::size_t chunk : {1ul, 7ul, 64ul, 5000ul}) {
+    std::vector<std::atomic<int>> hits(997);
+    pool.parallel_for_dynamic(997, chunk, [&](unsigned, Range r) {
+      for (std::size_t i = r.begin; i < r.end; ++i) hits[i].fetch_add(1);
+    });
+    for (auto& h : hits) EXPECT_EQ(h.load(), 1) << "chunk " << chunk;
+  }
+}
+
+TEST(ThreadPool, ParallelForFewerItemsThanWorkers) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> hits(3);
+  std::atomic<int> invocations{0};
+  pool.parallel_for(3, [&](unsigned, Range r) {
+    invocations.fetch_add(1);
+    for (std::size_t i = r.begin; i < r.end; ++i) hits[i].fetch_add(1);
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+  EXPECT_EQ(invocations.load(), 3);  // empty ranges are skipped
+}
+
+TEST(ThreadPool, RunAcceptsStdFunction) {
+  // The templated front end must still take a pre-built std::function
+  // (type-erased callers).
+  ThreadPool pool(2);
+  std::atomic<int> calls{0};
+  const std::function<void(unsigned)> f = [&](unsigned) {
+    calls.fetch_add(1);
+  };
+  pool.run(f);
+  EXPECT_EQ(calls.load(), 2);
 }
 
 // ---------------- Csr ----------------
