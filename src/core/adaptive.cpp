@@ -21,6 +21,20 @@ SchemeKind AdaptiveReducer::current() const {
   return scheme_->kind();
 }
 
+void AdaptiveReducer::warm_start(CachedDecision cached) {
+  SAPP_REQUIRE(scheme_ == nullptr, "warm_start after the first invocation");
+  warm_ = std::move(cached);
+}
+
+/// Shared post-(re)decision epilogue of the cold and warm adoption paths.
+void AdaptiveReducer::reset_feedback(const PatternSignature& sig, bool warm) {
+  monitor_.rebase(sig);
+  overruns_ = 0;
+  abandoned_.clear();
+  warm_started_ = warm;
+  if (!warm) invocations_base_ = 0;  // fresh evidence supersedes the cache
+}
+
 void AdaptiveReducer::characterize_and_decide(const AccessPattern& p) {
   stats_ = characterize(p, pool_.size(), opt_.characterize);
   decision_ = opt_.use_rule_decider
@@ -33,14 +47,19 @@ void AdaptiveReducer::characterize_and_decide(const AccessPattern& p) {
     decision_.recommended = SchemeKind::kSelective;
   adopt(decision_.recommended, p);
   ++recharacterizations_;
-  monitor_.rebase(PatternSignature::of(p));
-  overruns_ = 0;
-  abandoned_.clear();
+  reset_feedback(PatternSignature::of(p), /*warm=*/false);
 }
 
 void AdaptiveReducer::adopt(SchemeKind kind, const AccessPattern& p) {
   scheme_ = make_scheme(kind);
   plan_ = scheme_->plan(p, pool_.size());
+}
+
+SchemeResult AdaptiveReducer::execute_arbitrated(const ReductionInput& in,
+                                                 std::span<double> out) {
+  if (pool_mu_ == nullptr) return scheme_->execute(plan_.get(), in, pool_, out);
+  std::scoped_lock lk(*pool_mu_);
+  return scheme_->execute(plan_.get(), in, pool_, out);
 }
 
 SchemeResult AdaptiveReducer::invoke(const ReductionInput& in,
@@ -51,13 +70,44 @@ SchemeResult AdaptiveReducer::invoke(const ReductionInput& in,
 
   Timer inspect_timer;
   if (scheme_ == nullptr) {
-    characterize_and_decide(in.pattern);
+    // Warm start: adopt the cached scheme when the first observed pattern
+    // still matches the signature it was learned for; characterization and
+    // the cost-model decision are skipped entirely. The cached prediction
+    // (when recorded) keeps the mispredict feedback loop armed, and the
+    // cached evidence/rationale carry forward into the next snapshot.
+    const PatternSignature sig = PatternSignature::of(in.pattern);
+    if (warm_.has_value() &&
+        DecisionCache::matches(*warm_, sig, pool_.size(),
+                               opt_.warm_match_tolerance) &&
+        (warm_->scheme != SchemeKind::kLocalWrite ||
+         in.pattern.iteration_replication_legal)) {
+      adopt(warm_->scheme, in.pattern);
+      decision_ = Decision{};
+      decision_.recommended = warm_->scheme;
+      decision_.rationale =
+          warm_->rationale.empty()
+              ? "warm start: adopted '" +
+                    std::string(to_string(warm_->scheme)) +
+                    "' from the decision cache"
+              : warm_->rationale;
+      if (warm_->predicted_total_s > 0.0) {
+        CostPrediction cp;
+        cp.scheme = warm_->scheme;
+        cp.loop_s = warm_->predicted_total_s;  // total() == cached value
+        decision_.predictions.push_back(cp);
+      }
+      invocations_base_ = warm_->invocations;
+      reset_feedback(sig, /*warm=*/true);
+    } else {
+      characterize_and_decide(in.pattern);
+    }
+    warm_.reset();
   } else if (monitor_.observe(PatternSignature::of(in.pattern))) {
     characterize_and_decide(in.pattern);
   }
   const double adapt_s = inspect_timer.seconds();
 
-  SchemeResult r = scheme_->execute(plan_.get(), in, pool_, out);
+  SchemeResult r = execute_arbitrated(in, out);
   r.inspect_s += adapt_s;
 
   // Feedback: compare measured against the model's prediction for the
@@ -70,6 +120,7 @@ SchemeResult AdaptiveReducer::invoke(const ReductionInput& in,
       // The model was wrong about this scheme here: blacklist it and move
       // to the best not-yet-tried alternative (no ping-pong).
       abandoned_.push_back(scheme_->kind());
+      bool switched = false;
       for (const auto& cp : decision_.predictions) {
         const bool tried =
             std::find(abandoned_.begin(), abandoned_.end(), cp.scheme) !=
@@ -77,9 +128,15 @@ SchemeResult AdaptiveReducer::invoke(const ReductionInput& in,
         if (!tried && cp.applicable) {
           adopt(cp.scheme, in.pattern);
           ++switches_;
+          switched = true;
           break;
         }
       }
+      // No runner-up left — every alternative was abandoned, or this was
+      // a warm start whose cache carried only the one prediction. Fresh
+      // evidence beats a stale decision: re-characterize and re-decide
+      // (mispredict_patience throttles how often this can fire).
+      if (!switched) characterize_and_decide(in.pattern);
       overruns_ = 0;
     }
   } else {

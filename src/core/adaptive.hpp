@@ -13,9 +13,12 @@
 #pragma once
 
 #include <memory>
+#include <mutex>
+#include <optional>
 #include <span>
 
 #include "core/decision.hpp"
+#include "core/decision_cache.hpp"
 #include "core/phase_monitor.hpp"
 #include "reductions/registry.hpp"
 
@@ -33,6 +36,9 @@ struct AdaptiveOptions {
   double mispredict_ratio = 2.0;
   /// Consecutive mispredictions before switching to the runner-up.
   int mispredict_patience = 3;
+  /// Relative signature drift a cached decision may show and still be
+  /// adopted on a warm start (see DecisionCache::matches).
+  double warm_match_tolerance = 0.1;
 };
 
 /// Adaptive multi-version reduction executor for one loop site.
@@ -48,27 +54,57 @@ class AdaptiveReducer {
   /// Execute one invocation of the loop, accumulating into `out`.
   SchemeResult invoke(const ReductionInput& in, std::span<double> out);
 
+  /// Offer a cached decision for adoption on the first invocation. If the
+  /// first observed pattern matches the cached signature (within
+  /// `AdaptiveOptions::warm_match_tolerance`) the reducer adopts the
+  /// cached scheme directly and skips characterization and the cost-model
+  /// decision; otherwise it falls back to the cold path. Must be called
+  /// before the first invoke.
+  void warm_start(CachedDecision cached);
+
+  /// Serialize the shared-pool phases (Scheme::execute) on `mu` so
+  /// reducers owned by one multi-site runtime can run their sequential
+  /// phases (characterize, plan, monitor) concurrently while arbitrating
+  /// the one pool. nullptr (the default) means no arbitration.
+  void set_pool_arbiter(std::mutex* mu) { pool_mu_ = mu; }
+
   /// Scheme currently selected (valid after the first invoke).
   [[nodiscard]] SchemeKind current() const;
   /// Last decision with predictions and rationale.
   [[nodiscard]] const Decision& decision() const { return decision_; }
   /// Stats of the last characterization.
   [[nodiscard]] const PatternStats& stats() const { return stats_; }
+  /// Drift monitor (exposes the base/last pattern signatures).
+  [[nodiscard]] const PhaseMonitor& monitor() const { return monitor_; }
 
   [[nodiscard]] unsigned invocations() const { return invocations_; }
+  /// Invocations including the evidence inherited from the decision cache
+  /// on a warm start — what the next snapshot should record, so repeated
+  /// warm restarts accumulate provenance instead of resetting it.
+  [[nodiscard]] std::uint64_t lifetime_invocations() const {
+    return invocations_base_ + invocations_;
+  }
   [[nodiscard]] unsigned recharacterizations() const {
     return recharacterizations_;
   }
   [[nodiscard]] unsigned scheme_switches() const { return switches_; }
+  /// True when the current scheme was adopted from a decision cache
+  /// without characterizing (reset by the next re-characterization).
+  [[nodiscard]] bool warm_started() const { return warm_started_; }
 
  private:
   void characterize_and_decide(const AccessPattern& p);
   void adopt(SchemeKind kind, const AccessPattern& p);
+  void reset_feedback(const PatternSignature& sig, bool warm);
+  SchemeResult execute_arbitrated(const ReductionInput& in,
+                                  std::span<double> out);
 
   ThreadPool& pool_;
   MachineCoeffs coeffs_;
   AdaptiveOptions opt_;
   PhaseMonitor monitor_;
+  std::mutex* pool_mu_ = nullptr;
+  std::optional<CachedDecision> warm_;
 
   std::unique_ptr<Scheme> scheme_;
   std::unique_ptr<SchemePlan> plan_;
@@ -82,6 +118,9 @@ class AdaptiveReducer {
   unsigned recharacterizations_ = 0;
   unsigned switches_ = 0;
   int overruns_ = 0;
+  bool warm_started_ = false;
+  /// Invocation evidence inherited from the cache entry on a warm start.
+  std::uint64_t invocations_base_ = 0;
 };
 
 }  // namespace sapp

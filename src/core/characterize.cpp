@@ -69,6 +69,12 @@ PatternStats characterize(const AccessPattern& p, unsigned threads,
     ++sampled_iters;
     const unsigned tid = static_cast<unsigned>(
         std::min<std::size_t>(threads - 1, i * threads / (n ? n : 1)));
+    // The owner byte packs thread ids next to the kOwnerNone/kOwnerShared
+    // sentinels; on a > 253-thread pool ids clamp to one bucket, slightly
+    // under-counting sharing between the highest threads. Approximate
+    // stats beat aborting — this is the paper's "fast, approximative"
+    // characterizer, and the schemes themselves are unaffected.
+    const unsigned otid = tid < 0xFDu ? tid : 0xFDu;
     scratch.clear();
     for (std::uint64_t j = ptr[i]; j < ptr[i + 1]; ++j) {
       const std::uint32_t e = idx[j];
@@ -77,8 +83,8 @@ PatternStats characterize(const AccessPattern& p, unsigned threads,
       ++sampled_refs;
       auto& o = owner[e];
       if (o == kOwnerNone)
-        o = static_cast<std::uint8_t>(tid);
-      else if (o != tid && o != kOwnerShared)
+        o = static_cast<std::uint8_t>(otid);
+      else if (o != otid && o != kOwnerShared)
         o = kOwnerShared;
       scratch.push_back(e);
     }

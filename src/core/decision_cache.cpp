@@ -1,0 +1,203 @@
+#include "core/decision_cache.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "reductions/registry.hpp"
+#include "repro/json.hpp"
+
+namespace sapp {
+
+namespace {
+
+using repro::JsonValue;
+
+/// Schema version of the cache document; bump on incompatible layout
+/// changes (a reader seeing an unknown version treats the file as absent).
+constexpr int kCacheSchemaVersion = 1;
+constexpr const char* kGenerator = "sapp-decision-cache";
+
+double rel_change(double a, double b) {
+  const double mx = a > b ? a : b;
+  if (mx <= 0.0) return 0.0;
+  return std::abs(a - b) / mx;
+}
+
+/// The 64-bit signature fingerprints are stored as hex strings: JSON
+/// numbers are doubles and silently lose precision above 2^53.
+std::string to_hex(std::uint64_t v) {
+  std::ostringstream os;
+  os << "0x" << std::hex << v;
+  return os.str();
+}
+
+bool from_hex(const std::string& s, std::uint64_t& out) {
+  if (s.size() < 3 || s[0] != '0' || (s[1] != 'x' && s[1] != 'X'))
+    return false;
+  const auto [p, ec] =
+      std::from_chars(s.data() + 2, s.data() + s.size(), out, 16);
+  return ec == std::errc{} && p == s.data() + s.size();
+}
+
+bool read_u64_number(const JsonValue& obj, const char* key,
+                     std::uint64_t& out) {
+  const JsonValue* v = obj.find(key);
+  if (v == nullptr || !v->is_number() || v->as_number() < 0) return false;
+  out = static_cast<std::uint64_t>(v->as_number());
+  return true;
+}
+
+bool read_hex(const JsonValue& obj, const char* key, std::uint64_t& out) {
+  const JsonValue* v = obj.find(key);
+  return v != nullptr && v->is_string() && from_hex(v->as_string(), out);
+}
+
+}  // namespace
+
+void DecisionCache::put(CachedDecision d) {
+  for (auto& e : entries_) {
+    if (e.site == d.site) {
+      e = std::move(d);
+      return;
+    }
+  }
+  entries_.push_back(std::move(d));
+}
+
+const CachedDecision* DecisionCache::find(std::string_view site) const {
+  for (const auto& e : entries_)
+    if (e.site == site) return &e;
+  return nullptr;
+}
+
+bool DecisionCache::matches(const CachedDecision& d,
+                            const PatternSignature& sig, unsigned threads,
+                            double tolerance) {
+  if (d.threads != threads) return false;
+  if (d.signature.dim != sig.dim) return false;
+  if (rel_change(static_cast<double>(d.signature.iterations),
+                 static_cast<double>(sig.iterations)) > tolerance)
+    return false;
+  if (rel_change(static_cast<double>(d.signature.refs),
+                 static_cast<double>(sig.refs)) > tolerance)
+    return false;
+  return rel_change(static_cast<double>(d.signature.sampled_index_sum),
+                    static_cast<double>(sig.sampled_index_sum)) <= tolerance;
+}
+
+std::string DecisionCache::to_json() const {
+  JsonValue doc = JsonValue::object();
+  doc.set("schema_version", kCacheSchemaVersion);
+  doc.set("generator", kGenerator);
+  JsonValue sites = JsonValue::array();
+  for (const auto& e : entries_) {
+    JsonValue s = JsonValue::object();
+    s.set("site", e.site);
+    s.set("scheme", to_string(e.scheme));
+    s.set("threads", e.threads);
+    JsonValue sig = JsonValue::object();
+    sig.set("dim", static_cast<unsigned long long>(e.signature.dim));
+    sig.set("iterations",
+            static_cast<unsigned long long>(e.signature.iterations));
+    sig.set("refs", static_cast<unsigned long long>(e.signature.refs));
+    sig.set("index_sum", to_hex(e.signature.sampled_index_sum));
+    sig.set("index_xor", to_hex(e.signature.sampled_index_xor));
+    s.set("signature", std::move(sig));
+    s.set("predicted_total_s", e.predicted_total_s);
+    s.set("invocations", static_cast<unsigned long long>(e.invocations));
+    s.set("rationale", e.rationale);
+    sites.push_back(std::move(s));
+  }
+  doc.set("sites", std::move(sites));
+  return doc.dump();
+}
+
+std::optional<DecisionCache> DecisionCache::from_json(std::string_view text,
+                                                      std::string* error) {
+  const auto fail = [&](const std::string& msg) -> std::optional<DecisionCache> {
+    if (error != nullptr) *error = msg;
+    return std::nullopt;
+  };
+  std::string parse_err;
+  const auto doc = JsonValue::parse(text, &parse_err);
+  if (!doc) return fail("decision cache does not parse: " + parse_err);
+  if (!doc->is_object()) return fail("decision cache root is not an object");
+  const JsonValue* ver = doc->find("schema_version");
+  if (ver == nullptr || !ver->is_number() ||
+      static_cast<int>(ver->as_number()) != kCacheSchemaVersion)
+    return fail("decision cache has a missing or unsupported schema_version");
+  const JsonValue* sites = doc->find("sites");
+  if (sites == nullptr || !sites->is_array())
+    return fail("decision cache has no 'sites' array");
+
+  DecisionCache cache;
+  for (const auto& s : sites->items()) {
+    if (!s.is_object()) return fail("site entry is not an object");
+    CachedDecision d;
+    const JsonValue* site = s.find("site");
+    const JsonValue* scheme = s.find("scheme");
+    const JsonValue* threads = s.find("threads");
+    const JsonValue* sig = s.find("signature");
+    if (site == nullptr || !site->is_string() || scheme == nullptr ||
+        !scheme->is_string() || threads == nullptr || !threads->is_number() ||
+        sig == nullptr || !sig->is_object())
+      return fail("site entry is missing site/scheme/threads/signature");
+    d.site = site->as_string();
+    try {
+      d.scheme = scheme_kind_from_name(scheme->as_string());
+    } catch (const std::invalid_argument&) {
+      return fail("unknown scheme name '" + scheme->as_string() + "'");
+    }
+    d.threads = static_cast<unsigned>(threads->as_number());
+    std::uint64_t dim = 0, iterations = 0, refs = 0;
+    if (!read_u64_number(*sig, "dim", dim) ||
+        !read_u64_number(*sig, "iterations", iterations) ||
+        !read_u64_number(*sig, "refs", refs) ||
+        !read_hex(*sig, "index_sum", d.signature.sampled_index_sum) ||
+        !read_hex(*sig, "index_xor", d.signature.sampled_index_xor))
+      return fail("malformed signature for site '" + d.site + "'");
+    d.signature.dim = static_cast<std::size_t>(dim);
+    d.signature.iterations = static_cast<std::size_t>(iterations);
+    d.signature.refs = static_cast<std::size_t>(refs);
+    if (const JsonValue* pred = s.find("predicted_total_s");
+        pred != nullptr && pred->is_number() && pred->as_number() >= 0)
+      d.predicted_total_s = pred->as_number();
+    (void)read_u64_number(s, "invocations", d.invocations);
+    if (const JsonValue* why = s.find("rationale");
+        why != nullptr && why->is_string())
+      d.rationale = why->as_string();
+    cache.put(std::move(d));
+  }
+  return cache;
+}
+
+bool DecisionCache::save(const std::string& path, std::string* error) const {
+  std::ofstream file(path);
+  if (!file) {
+    if (error != nullptr) *error = "cannot open '" + path + "' for writing";
+    return false;
+  }
+  file << to_json();
+  file.flush();
+  if (!file) {
+    if (error != nullptr) *error = "write to '" + path + "' failed";
+    return false;
+  }
+  return true;
+}
+
+std::optional<DecisionCache> DecisionCache::load(const std::string& path,
+                                                 std::string* error) {
+  std::ifstream file(path);
+  if (!file) {
+    if (error != nullptr) *error = "cannot open '" + path + "'";
+    return std::nullopt;
+  }
+  std::ostringstream buf;
+  buf << file.rdbuf();
+  return from_json(buf.str(), error);
+}
+
+}  // namespace sapp

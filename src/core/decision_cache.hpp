@@ -1,0 +1,88 @@
+// Persistent decision cache — learned scheme choices that survive restarts.
+//
+// The paper's Fig. 2 ToolBox keeps "application and system specific
+// databases"; this is the application half: per loop site, the scheme the
+// adaptive runtime settled on together with the PatternSignature it was
+// learned for and the thread count it is valid under. On a warm start
+// `sapp::Runtime` adopts the remembered scheme directly and skips the
+// first-invocation characterization + decision (the expensive
+// O(refs + dim) inspector sweep). Persistence is explicit: `Runtime::save_decisions()` writes the
+// file (typically at the end of a run); the constructor loads
+// `RuntimeOptions::decision_cache_path` when it is set. A cached entry is
+// only adopted when the first observed pattern still matches its recorded
+// signature — otherwise the site falls back to the normal
+// characterize-and-decide path.
+//
+// The file format is JSON rendered by src/repro/json (schema documented in
+// docs/reproducing.md, "The decision-cache file"). Caches are host- and
+// thread-count-specific, like the rest of docs/results/.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/phase_monitor.hpp"
+#include "reductions/scheme.hpp"
+
+namespace sapp {
+
+/// One learned decision: what a loop site should run on a warm start.
+struct CachedDecision {
+  std::string site;            ///< loop-site id (Runtime::submit key)
+  SchemeKind scheme{};         ///< scheme the site had settled on
+  unsigned threads = 0;        ///< pool size the decision was learned under
+  PatternSignature signature;  ///< pattern the decision is valid for
+  /// Cost-model prediction (seconds/invocation) for `scheme` when it was
+  /// decided. Carried so a warm-started site keeps the mispredict
+  /// feedback loop: sustained overruns against this value trigger
+  /// re-characterization instead of trusting a stale cache forever.
+  /// 0 = unknown (feedback resumes after the next re-characterization).
+  double predicted_total_s = 0.0;
+  std::uint64_t invocations = 0;  ///< cumulative evidence behind the decision
+  std::string rationale;          ///< human-readable provenance
+};
+
+/// Site-id keyed collection of cached decisions with a JSON round trip.
+class DecisionCache {
+ public:
+  /// Insert or replace the entry for `d.site`.
+  void put(CachedDecision d);
+
+  /// Entry for `site`, or nullptr.
+  [[nodiscard]] const CachedDecision* find(std::string_view site) const;
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+  [[nodiscard]] const std::vector<CachedDecision>& entries() const {
+    return entries_;
+  }
+
+  /// Does a cached decision still apply to the pattern `sig` under
+  /// `threads` workers? Dimension and thread count must match exactly;
+  /// iteration, reference and sampled-index-sum counts may each drift by
+  /// at most `tolerance` (relative). The xor fingerprint is deliberately
+  /// not compared — any reordering flips it, and the cache must tolerate
+  /// benign run-to-run perturbation.
+  [[nodiscard]] static bool matches(const CachedDecision& d,
+                                    const PatternSignature& sig,
+                                    unsigned threads, double tolerance);
+
+  /// JSON round trip (entries in insertion order; stable diffs).
+  [[nodiscard]] std::string to_json() const;
+  [[nodiscard]] static std::optional<DecisionCache> from_json(
+      std::string_view text, std::string* error = nullptr);
+
+  /// File round trip. `load` returns nullopt (with an error message) on a
+  /// missing, unreadable or malformed file — a cold start, never a crash.
+  [[nodiscard]] bool save(const std::string& path,
+                          std::string* error = nullptr) const;
+  [[nodiscard]] static std::optional<DecisionCache> load(
+      const std::string& path, std::string* error = nullptr);
+
+ private:
+  std::vector<CachedDecision> entries_;
+};
+
+}  // namespace sapp

@@ -52,6 +52,11 @@ class PhaseMonitor {
 
   [[nodiscard]] double accumulated() const { return accumulated_; }
   [[nodiscard]] double threshold() const { return threshold_; }
+  [[nodiscard]] bool has_base() const { return have_base_; }
+  /// Signature at the last rebase (the characterized pattern).
+  [[nodiscard]] const PatternSignature& base() const { return base_; }
+  /// Signature of the most recently observed invocation.
+  [[nodiscard]] const PatternSignature& last() const { return last_; }
 
  private:
   double threshold_;

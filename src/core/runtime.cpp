@@ -1,48 +1,195 @@
 #include "core/runtime.hpp"
 
+#include <algorithm>
+#include <functional>
 #include <sstream>
 #include <thread>
 
 namespace sapp {
 
-SmartAppsRuntime::SmartAppsRuntime(Options opt) : opt_(opt) {
-  unsigned n = opt.threads;
+Runtime::Runtime(RuntimeOptions opt) : opt_(std::move(opt)) {
+  unsigned n = opt_.threads;
   if (n == 0) {
     n = std::thread::hardware_concurrency();
     if (n == 0) n = 2;
   }
   pool_ = std::make_unique<ThreadPool>(n);
-  coeffs_ = opt.calibrate ? MachineCoeffs::calibrate(*pool_)
-                          : MachineCoeffs::defaults();
+  if (opt_.coeffs != nullptr)
+    coeffs_ = *opt_.coeffs;
+  else
+    coeffs_ = opt_.calibrate ? MachineCoeffs::calibrate(*pool_)
+                             : MachineCoeffs::defaults();
+  if (!opt_.decision_cache_path.empty()) {
+    // A missing or corrupt cache is a cold start, never an error.
+    (void)load_decisions(opt_.decision_cache_path);
+  }
 }
 
-AdaptiveReducer& SmartAppsRuntime::reducer(const std::string& name) {
-  auto it = sites_.find(name);
-  if (it == sites_.end()) {
-    it = sites_
-             .emplace(name, std::make_unique<AdaptiveReducer>(
-                                *pool_, coeffs_, opt_.adaptive))
-             .first;
+Runtime::~Runtime() = default;
+
+unsigned Runtime::threads() const { return pool_->size(); }
+
+std::size_t Runtime::stripe_of(std::string_view id) {
+  return std::hash<std::string_view>{}(id) % kStripes;
+}
+
+Runtime::Site& Runtime::site_slot(std::string_view id) {
+  Stripe& stripe = stripes_[stripe_of(id)];
+  std::scoped_lock lk(stripe.mu);
+  auto it = stripe.sites.find(id);
+  if (it == stripe.sites.end()) {
+    std::string key(id);
+    auto site = std::make_unique<Site>();
+    site->reducer =
+        std::make_unique<AdaptiveReducer>(*pool_, coeffs_, opt_.adaptive);
+    site->reducer->set_pool_arbiter(&pool_mu_);
+    {
+      std::scoped_lock wl(warm_mu_);
+      if (const CachedDecision* cached = warm_.find(id); cached != nullptr)
+        site->reducer->warm_start(*cached);
+    }
+    it = stripe.sites.emplace(std::move(key), std::move(site)).first;
   }
   return *it->second;
 }
 
-std::string SmartAppsRuntime::report() const {
-  std::ostringstream os;
-  os << "SmartAppsRuntime: " << pool_->size() << " threads, "
-     << sites_.size() << " loop site(s)\n";
-  for (const auto& [name, r] : sites_) {
-    os << "  site '" << name << "': ";
-    if (r->invocations() == 0) {
-      os << "never invoked\n";
-      continue;
-    }
-    os << to_string(r->current()) << " after " << r->invocations()
-       << " invocation(s), " << r->recharacterizations()
-       << " characterization(s), " << r->scheme_switches()
-       << " switch(es)\n    " << r->decision().rationale << "\n";
+SchemeResult Runtime::submit(std::string_view site_id,
+                             const ReductionInput& in,
+                             std::span<double> out) {
+  Site& s = site_slot(site_id);
+  std::scoped_lock lk(s.mu);
+  return s.reducer->invoke(in, out);
+}
+
+SchemeResult Runtime::submit(const ReductionInput& in,
+                             std::span<double> out) {
+  if (!in.pattern.loop_id.empty()) return submit(in.pattern.loop_id, in, out);
+  // Untagged patterns fall back to a dimension-keyed anonymous site, so
+  // two structurally different untagged loops alternating through here do
+  // not share one drift monitor and re-characterize on every invocation.
+  // Same-dimension loops still collide — tag loop_id for stable identity.
+  return submit("<anonymous dim=" + std::to_string(in.pattern.dim) + ">", in,
+                out);
+}
+
+AdaptiveReducer& Runtime::site(std::string_view site_id) {
+  return *site_slot(site_id).reducer;
+}
+
+std::size_t Runtime::site_count() const {
+  std::size_t n = 0;
+  for (const auto& stripe : stripes_) {
+    std::scoped_lock lk(stripe.mu);
+    n += stripe.sites.size();
   }
+  return n;
+}
+
+std::vector<std::string> Runtime::site_ids() const {
+  std::vector<std::string> ids;
+  for (const auto& stripe : stripes_) {
+    std::scoped_lock lk(stripe.mu);
+    for (const auto& [id, site] : stripe.sites) ids.push_back(id);
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+template <typename Fn>
+void Runtime::for_each_site(Fn&& fn) const {
+  for (const auto& id : site_ids()) {
+    // Resolve the site under the stripe lock, then release it before
+    // waiting on the site mutex — otherwise a long in-flight reduction
+    // would stall every submission hashing into the same stripe for its
+    // whole duration. Sites are never erased, so the pointer stays valid.
+    Site* site = nullptr;
+    {
+      const Stripe& stripe = stripes_[stripe_of(id)];
+      std::scoped_lock lk(stripe.mu);
+      const auto it = stripe.sites.find(id);
+      if (it != stripe.sites.end()) site = it->second.get();
+    }
+    if (site == nullptr) continue;
+    // The site mutex makes the read safe against a concurrent submit()
+    // mutating the reducer.
+    std::scoped_lock site_lk(site->mu);
+    fn(id, static_cast<const AdaptiveReducer&>(*site->reducer));
+  }
+}
+
+std::string Runtime::report() const {
+  std::ostringstream os;
+  os << "sapp::Runtime: " << pool_->size() << " threads, " << site_count()
+     << " loop site(s)";
+  {
+    std::scoped_lock wl(warm_mu_);
+    if (!warm_.empty()) os << ", " << warm_.size() << " cached decision(s)";
+  }
+  os << "\n";
+  for_each_site([&](const std::string& id, const AdaptiveReducer& r) {
+    os << "  site '" << id << "': ";
+    if (r.invocations() == 0) {
+      os << "never invoked\n";
+      return;
+    }
+    os << to_string(r.current()) << " after " << r.invocations()
+       << " invocation(s), " << r.recharacterizations()
+       << " characterization(s), " << r.scheme_switches() << " switch(es)"
+       << (r.warm_started() ? ", warm-started" : "") << "\n    "
+       << r.decision().rationale << "\n";
+  });
   return os.str();
+}
+
+DecisionCache Runtime::snapshot_decisions() const {
+  DecisionCache cache;
+  for_each_site([&](const std::string& id, const AdaptiveReducer& r) {
+    if (r.invocations() == 0) return;  // nothing learned yet
+    CachedDecision d;
+    d.site = id;
+    d.scheme = r.current();
+    d.threads = pool_->size();
+    // The most recently observed signature: what the next run's first
+    // invocation is expected to look like.
+    d.signature = r.monitor().last();
+    // Prediction for the current scheme, so the warm-started next run
+    // keeps the mispredict feedback loop armed (0 when unknown).
+    for (const auto& cp : r.decision().predictions)
+      if (cp.scheme == r.current()) d.predicted_total_s = cp.total();
+    // Cumulative across warm restarts — a warm-started run inherits the
+    // cache's evidence instead of resetting it to this run's count, and
+    // the rationale stays the original decider justification.
+    d.invocations = r.lifetime_invocations();
+    d.rationale = r.decision().rationale;
+    cache.put(std::move(d));
+  });
+  return cache;
+}
+
+bool Runtime::save_decisions(const std::string& path,
+                             std::string* error) const {
+  return snapshot_decisions().save(path, error);
+}
+
+bool Runtime::save_decisions(std::string* error) const {
+  if (opt_.decision_cache_path.empty()) {
+    if (error != nullptr) *error = "no decision_cache_path configured";
+    return false;
+  }
+  return save_decisions(opt_.decision_cache_path, error);
+}
+
+bool Runtime::load_decisions(const std::string& path, std::string* error) {
+  auto loaded = DecisionCache::load(path, error);
+  if (!loaded.has_value()) return false;
+  std::scoped_lock lk(warm_mu_);
+  for (const auto& e : loaded->entries()) warm_.put(e);
+  return true;
+}
+
+std::size_t Runtime::warm_entries() const {
+  std::scoped_lock lk(warm_mu_);
+  return warm_.size();
 }
 
 }  // namespace sapp

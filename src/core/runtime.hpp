@@ -1,24 +1,148 @@
-// SmartAppsRuntime — the application-facing facade (Fig. 1 / Fig. 2).
+// sapp::Runtime — the process-wide multi-site adaptive runtime (Fig. 1 at
+// scale), plus the SmartAppsRuntime single-threaded facade it grew from.
 //
-// Owns the thread pool, the calibrated machine-coefficient database (the
-// ToolBox "system-specific database") and one AdaptiveReducer per loop
-// site. An application links against this and writes
+// One Runtime serves every reduction loop site of an application:
 //
-//     SmartAppsRuntime rt({.threads = 8});
-//     auto& site = rt.reducer("ComputeForces");
-//     for (each timestep) site.invoke(input, forces);
+//     sapp::Runtime rt({.threads = 8, .decision_cache_path = "sapp.cache"});
+//     // any application thread, concurrently:
+//     rt.submit("Moldyn/ComputeForces", input, forces);
+//     rt.submit(input_with_loop_id, out);   // site id from pattern.loop_id
+//     ...
+//     rt.save_decisions("sapp.cache");      // warm-start the next run
 //
-// which is the shape of code the paper's run-time compiler would emit.
+// Concurrency model:
+//   * the site table is lock-striped: submissions to distinct sites never
+//     contend on one global lock, and a site is created exactly once no
+//     matter how many threads race to its first submission;
+//   * submissions to the same site serialize in arrival order (an
+//     AdaptiveReducer is stateful: monitor, plan, feedback counters);
+//   * the sequential per-site phases — characterization, planning, drift
+//     monitoring — run concurrently across sites; only Scheme::execute
+//     regions are arbitrated onto the one shared ThreadPool (a pool region
+//     must be dispatched by one thread at a time).
+//
+// Persistence: learned decisions (scheme + PatternSignature per site) are
+// saved/loaded as a JSON decision cache (src/core/decision_cache.hpp), so
+// a warm start skips the first-invocation characterization — measured by
+// `sapp_repro adaptive_sites` and gated in CI.
 #pragma once
 
+#include <array>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "core/adaptive.hpp"
+#include "core/decision_cache.hpp"
 
 namespace sapp {
 
+/// Construction knobs of the multi-site runtime.
+struct RuntimeOptions {
+  unsigned threads = 0;   ///< 0 = hardware concurrency
+  bool calibrate = true;  ///< micro-calibrate MachineCoeffs at startup
+  AdaptiveOptions adaptive{};
+  /// Path of the persistent decision cache. When non-empty, the
+  /// constructor loads it (silently starting cold if missing/corrupt) and
+  /// `save_decisions()` with no argument writes back to it.
+  std::string decision_cache_path;
+  /// Skip calibration and use these coefficients (tests, experiments
+  /// wanting identical deciders across Runtime instances).
+  const MachineCoeffs* coeffs = nullptr;
+};
+
+/// Process-wide registry of adaptive reduction sites sharing one pool.
+class Runtime {
+ public:
+  Runtime() : Runtime(RuntimeOptions{}) {}
+  explicit Runtime(RuntimeOptions opt);
+  ~Runtime();
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  [[nodiscard]] ThreadPool& pool() { return *pool_; }
+  [[nodiscard]] const MachineCoeffs& coeffs() const { return coeffs_; }
+  [[nodiscard]] unsigned threads() const;
+
+  /// Execute one invocation of loop site `site_id`, accumulating into
+  /// `out`. The site is created on first use. Safe to call from any
+  /// number of application threads concurrently.
+  SchemeResult submit(std::string_view site_id, const ReductionInput& in,
+                      std::span<double> out);
+
+  /// As above with the site id taken from `in.pattern.loop_id`. Patterns
+  /// carrying no loop_id share a dimension-keyed anonymous site
+  /// ("<anonymous dim=N>") — good enough to keep structurally different
+  /// untagged loops apart, but tag loop_id for stable identity.
+  SchemeResult submit(const ReductionInput& in, std::span<double> out);
+
+  /// The site's reducer, created on first use. Reading reducer state is
+  /// NOT synchronized against concurrent submit() calls to the same site —
+  /// use from single-threaded phases (startup, reporting, tests).
+  [[nodiscard]] AdaptiveReducer& site(std::string_view site_id);
+
+  [[nodiscard]] std::size_t site_count() const;
+  /// All site ids, sorted (stable report/serialization order).
+  [[nodiscard]] std::vector<std::string> site_ids() const;
+  /// Per-site summary: decisions, re-characterizations, switches.
+  [[nodiscard]] std::string report() const;
+
+  // ---- persistent decision cache ------------------------------------
+  /// Snapshot of every site that has settled on a scheme (keyed by site
+  /// id; signature = the most recently observed pattern).
+  [[nodiscard]] DecisionCache snapshot_decisions() const;
+  /// Save the snapshot to `path`. Returns false (with `error`) on I/O
+  /// failure.
+  bool save_decisions(const std::string& path,
+                      std::string* error = nullptr) const;
+  /// Save to `RuntimeOptions::decision_cache_path`.
+  bool save_decisions(std::string* error = nullptr) const;
+  /// Merge `path` into the warm-start cache consulted when sites are
+  /// created. Entries for already-created sites do not apply retroactively.
+  bool load_decisions(const std::string& path, std::string* error = nullptr);
+  /// The decisions currently offered to newly created sites.
+  [[nodiscard]] std::size_t warm_entries() const;
+
+ private:
+  struct Site {
+    std::mutex mu;  // serializes submissions to this site
+    std::unique_ptr<AdaptiveReducer> reducer;
+  };
+  struct Stripe {
+    mutable std::mutex mu;
+    std::map<std::string, std::unique_ptr<Site>, std::less<>> sites;
+  };
+  /// Stripe count: a small power of two; striping only needs to keep
+  /// unrelated sites off one cache-hot mutex, not scale to thousands.
+  static constexpr std::size_t kStripes = 16;
+
+  [[nodiscard]] static std::size_t stripe_of(std::string_view id);
+  Site& site_slot(std::string_view id);
+  /// Visit every site in sorted id order, holding both the stripe lock
+  /// and the site's own mutex — safe against concurrent submit().
+  template <typename Fn>  // Fn(const std::string&, const AdaptiveReducer&)
+  void for_each_site(Fn&& fn) const;
+
+  RuntimeOptions opt_;
+  std::unique_ptr<ThreadPool> pool_;
+  MachineCoeffs coeffs_;
+  /// Arbitrates Scheme::execute regions on the shared pool across sites.
+  std::mutex pool_mu_;
+  std::array<Stripe, kStripes> stripes_;
+  /// Warm-start cache (loaded entries); guarded by warm_mu_ because
+  /// load_decisions may race with site creation.
+  mutable std::mutex warm_mu_;
+  DecisionCache warm_;
+};
+
+/// The original single-site-table facade (Fig. 1 / Fig. 2): the shape of
+/// code the paper's run-time compiler would emit for a sequential
+/// application. Now a thin veneer over Runtime — new code should use
+/// Runtime directly (concurrent submission, decision persistence).
 class SmartAppsRuntime {
  public:
   struct Options {
@@ -28,22 +152,32 @@ class SmartAppsRuntime {
   };
 
   SmartAppsRuntime() : SmartAppsRuntime(Options{}) {}
-  explicit SmartAppsRuntime(Options opt);
+  explicit SmartAppsRuntime(Options opt) : rt_(to_runtime_options(opt)) {}
 
-  [[nodiscard]] ThreadPool& pool() { return *pool_; }
-  [[nodiscard]] const MachineCoeffs& coeffs() const { return coeffs_; }
+  [[nodiscard]] ThreadPool& pool() { return rt_.pool(); }
+  [[nodiscard]] const MachineCoeffs& coeffs() const { return rt_.coeffs(); }
 
   /// The adaptive reducer for the loop site `name` (created on first use).
-  [[nodiscard]] AdaptiveReducer& reducer(const std::string& name);
+  [[nodiscard]] AdaptiveReducer& reducer(const std::string& name) {
+    return rt_.site(name);
+  }
 
   /// Per-site summary: decisions, re-characterizations, switches.
-  [[nodiscard]] std::string report() const;
+  [[nodiscard]] std::string report() const { return rt_.report(); }
+
+  /// The multi-site runtime underneath.
+  [[nodiscard]] Runtime& runtime() { return rt_; }
 
  private:
-  Options opt_;
-  std::unique_ptr<ThreadPool> pool_;
-  MachineCoeffs coeffs_;
-  std::map<std::string, std::unique_ptr<AdaptiveReducer>> sites_;
+  [[nodiscard]] static RuntimeOptions to_runtime_options(const Options& o) {
+    RuntimeOptions r;
+    r.threads = o.threads;
+    r.calibrate = o.calibrate;
+    r.adaptive = o.adaptive;
+    return r;
+  }
+
+  Runtime rt_;
 };
 
 }  // namespace sapp

@@ -19,6 +19,12 @@ namespace sapp {
 
 /// Reference pattern of one reduction loop.
 struct AccessPattern {
+  /// Stable identity of the loop site this pattern belongs to (e.g.
+  /// "Moldyn/ComputeForces"). The multi-site runtime keys its site table
+  /// and persistent decision cache on this; empty means anonymous.
+  /// Workload generators tag it with "<App>/<loop>".
+  std::string loop_id;
+
   /// Dimension of the reduction array `w` (number of elements).
   std::size_t dim = 0;
 

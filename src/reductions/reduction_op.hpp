@@ -69,6 +69,8 @@ struct MinOp {
 template <typename Op>
   requires ReductionOp<Op, double>
 inline void fill_neutral(double* p, std::size_t n) {
+  if (n == 0) return;  // empty buffers may hand us data() == nullptr (UB
+                       // to pass to memset even with a zero length)
   if constexpr (std::bit_cast<std::uint64_t>(
                     static_cast<double>(Op::neutral())) == 0) {
     std::memset(p, 0, n * sizeof(double));

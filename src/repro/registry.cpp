@@ -37,6 +37,7 @@ ExperimentRegistry& builtin_experiments() {
     register_simulation_experiments(*r);
     register_speculation_experiments(*r);
     register_overhead_experiments(*r);
+    register_runtime_experiments(*r);
     return r;
   }();
   return *registry;

@@ -63,5 +63,6 @@ void register_software_experiments(ExperimentRegistry& r);
 void register_simulation_experiments(ExperimentRegistry& r);
 void register_speculation_experiments(ExperimentRegistry& r);
 void register_overhead_experiments(ExperimentRegistry& r);
+void register_runtime_experiments(ExperimentRegistry& r);
 
 }  // namespace sapp::repro

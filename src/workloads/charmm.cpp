@@ -33,6 +33,7 @@ Workload make_charmm(std::size_t dim, std::size_t distinct,
   w.variant = "dim=" + std::to_string(dim);
   w.input = make_synthetic(p);
   w.instr_per_iter = 420;
+  tag_site(w);
   return w;
 }
 
@@ -91,6 +92,7 @@ Workload make_charmm_hw(double scale, std::uint64_t seed) {
   w.instr_per_iter = 420;
   w.invocations = 1;
   w.input_bytes_per_iter = 48;  // 12 neighbour ids
+  tag_site(w);
   return w;
 }
 

@@ -48,6 +48,7 @@ Workload make_equake(double scale, std::uint64_t seed) {
   w.instr_per_iter = 550;
   w.input_bytes_per_iter = 32;  // row pointer + column indices
   w.invocations = 3855;
+  tag_site(w);
   return w;
 }
 

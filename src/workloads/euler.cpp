@@ -52,6 +52,7 @@ Workload make_euler(double scale, std::uint64_t seed) {
   w.instr_per_iter = 118;
   w.input_bytes_per_iter = 8;  // two node ids per edge
   w.invocations = 120;
+  tag_site(w);
   return w;
 }
 

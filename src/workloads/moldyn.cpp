@@ -65,6 +65,7 @@ Workload make_moldyn(std::size_t dim, std::size_t distinct,
   w.input.values.resize(w.input.pattern.num_refs());
   for (auto& v : w.input.values) v = rng.uniform(-1.0, 1.0);
   w.instr_per_iter = 60;
+  tag_site(w);
   return w;
 }
 

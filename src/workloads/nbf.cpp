@@ -31,6 +31,7 @@ Workload make_nbf(std::size_t dim, std::size_t distinct, std::size_t pairs,
   w.variant = "dim=" + std::to_string(dim);
   w.input = make_synthetic(p);
   w.instr_per_iter = 1880;
+  tag_site(w);
   return w;
 }
 
@@ -85,6 +86,7 @@ Workload make_nbf_hw(double scale, std::uint64_t seed) {
   w.instr_per_iter = 1880;
   w.invocations = 1;
   w.input_bytes_per_iter = 800;  // the charge group's pair list (200 ids)
+  tag_site(w);
   return w;
 }
 

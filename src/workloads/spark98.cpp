@@ -61,6 +61,7 @@ Workload make_spark98(std::size_t dim, std::size_t distinct, std::size_t nnz,
   w.input.values.resize(w.input.pattern.num_refs());
   for (auto& v : w.input.values) v = rng.uniform(-1.0, 1.0);
   w.instr_per_iter = 20;
+  tag_site(w);
   return w;
 }
 

@@ -64,6 +64,7 @@ Workload make_spice(std::size_t dim, std::size_t devices,
   w.input.values.resize(w.input.pattern.num_refs());
   for (auto& v : w.input.values) v = rng.uniform(-1.0, 1.0);
   w.instr_per_iter = 600;
+  tag_site(w);
   return w;
 }
 

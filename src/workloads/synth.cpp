@@ -78,6 +78,9 @@ ReductionInput make_synthetic(const SynthParams& p) {
 
   // --- Pack into CSR + values.
   ReductionInput in;
+  // Synthetic sites are anonymous by default; callers (the app generators,
+  // tests) overwrite loop_id with a stable per-site name.
+  in.pattern.loop_id = "synth/seed=" + std::to_string(p.seed);
   in.pattern.dim = p.dim;
   in.pattern.body_flops = p.body_flops;
   in.pattern.iteration_replication_legal = p.lw_legal;

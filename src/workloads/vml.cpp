@@ -43,6 +43,7 @@ Workload make_vml(double scale, std::uint64_t seed) {
   w.instr_per_iter = 135;
   w.input_bytes_per_iter = 28;  // sparse row structure
   w.invocations = 1;
+  tag_site(w);
   return w;
 }
 

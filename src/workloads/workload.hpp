@@ -45,6 +45,13 @@ struct Workload {
   unsigned input_bytes_per_iter = 0;
 };
 
+/// Stamp the pattern with its stable loop-site id ("<App>/<loop>") so the
+/// multi-site runtime (sapp::Runtime) can key its site table and persistent
+/// decision cache on it. Every generator calls this last.
+inline void tag_site(Workload& w) {
+  w.input.pattern.loop_id = w.app + "/" + w.loop;
+}
+
 /// Common knobs of the synthetic reference-pattern engine. Every app
 /// generator is a differently-shaped instantiation of this.
 struct SynthParams {

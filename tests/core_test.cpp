@@ -2,6 +2,8 @@
 // phase monitor and the AdaptiveReducer feedback loop.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+
 #include "core/adaptive.hpp"
 #include "core/runtime.hpp"
 #include "workloads/workload.hpp"
@@ -357,6 +359,262 @@ TEST(SmartAppsRuntime, CalibrationProducesPositiveCoefficients) {
   EXPECT_GT(mc.ns_init, 0.0);
   EXPECT_GT(mc.ns_atomic, 0.0);
   EXPECT_GT(mc.fork_join_us, 0.0);
+}
+
+// ---------------- multi-site runtime + decision cache ----------------
+
+RuntimeOptions uncalibrated(unsigned threads) {
+  RuntimeOptions o;
+  o.threads = threads;
+  o.calibrate = false;
+  // Park the mispredict feedback loop: with uncalibrated coefficients a
+  // loaded CI host overruns every prediction, and these tests pin the
+  // site/cache bookkeeping, not adaptation (the poisoned-cache test
+  // re-arms it explicitly).
+  o.adaptive.mispredict_patience = 1 << 30;
+  return o;
+}
+
+TEST(Runtime, UntaggedPatternsGetDimensionKeyedAnonymousSites) {
+  // Two structurally different untagged loops must not share one site —
+  // alternating submissions would thrash the drift monitor otherwise.
+  Runtime rt(uncalibrated(2));
+  auto a = sparse_input();
+  a.pattern.loop_id.clear();
+  auto b = sparse_input();
+  b.pattern.loop_id.clear();
+  b.pattern.dim += 1000;
+  b.values.clear();  // keep consistent(): rebuild values for same refs
+  b.values.assign(b.pattern.num_refs(), 1.0);
+  std::vector<double> out_a(a.pattern.dim, 0.0);
+  std::vector<double> out_b(b.pattern.dim, 0.0);
+  for (int k = 0; k < 3; ++k) {
+    (void)rt.submit(a, out_a);
+    (void)rt.submit(b, out_b);
+  }
+  EXPECT_EQ(rt.site_count(), 2u);
+  for (const auto& id : rt.site_ids()) {
+    EXPECT_EQ(rt.site(id).invocations(), 3u) << id;
+    EXPECT_EQ(rt.site(id).recharacterizations(), 1u) << id;
+  }
+}
+
+TEST(Runtime, SubmitRoutesBySiteIdAndByLoopId) {
+  Runtime rt(uncalibrated(2));
+  auto in = sparse_input();
+  in.pattern.loop_id = "App/loop1";
+  std::vector<double> out(in.pattern.dim, 0.0);
+  (void)rt.submit(in, out);                  // keyed by pattern.loop_id
+  (void)rt.submit("App/loop2", in, out);     // explicit site id wins
+  EXPECT_EQ(rt.site_count(), 2u);
+  EXPECT_EQ(rt.site("App/loop1").invocations(), 1u);
+  EXPECT_EQ(rt.site("App/loop2").invocations(), 1u);
+  EXPECT_EQ(rt.site_ids(),
+            (std::vector<std::string>{"App/loop1", "App/loop2"}));
+  const std::string rep = rt.report();
+  EXPECT_NE(rep.find("App/loop1"), std::string::npos);
+  EXPECT_NE(rep.find("2 threads"), std::string::npos);
+}
+
+TEST(DecisionCache, JsonRoundTripPreservesEntries) {
+  DecisionCache cache;
+  CachedDecision d;
+  d.site = "App/loop";
+  d.scheme = SchemeKind::kSelective;
+  d.threads = 4;
+  d.signature.dim = 1000;
+  d.signature.iterations = 500;
+  d.signature.refs = 1500;
+  d.signature.sampled_index_sum = 0xFFFFFFFFFFFFFFull;  // > 2^53: hex str
+  d.signature.sampled_index_xor = 0xDEADBEEFCAFEBABEull;
+  d.predicted_total_s = 0.00125;
+  d.invocations = 7;
+  d.rationale = "test \"quoted\" rationale";
+  cache.put(d);
+
+  const auto round = DecisionCache::from_json(cache.to_json());
+  ASSERT_TRUE(round.has_value());
+  const CachedDecision* e = round->find("App/loop");
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->scheme, SchemeKind::kSelective);
+  EXPECT_EQ(e->threads, 4u);
+  EXPECT_EQ(e->signature.sampled_index_sum, d.signature.sampled_index_sum);
+  EXPECT_EQ(e->signature.sampled_index_xor, d.signature.sampled_index_xor);
+  EXPECT_DOUBLE_EQ(e->predicted_total_s, 0.00125);
+  EXPECT_EQ(e->invocations, 7u);
+  EXPECT_EQ(e->rationale, d.rationale);
+}
+
+TEST(DecisionCache, RejectsMalformedDocuments) {
+  std::string err;
+  EXPECT_FALSE(DecisionCache::from_json("not json", &err).has_value());
+  EXPECT_FALSE(DecisionCache::from_json("{}", &err).has_value());
+  EXPECT_FALSE(
+      DecisionCache::from_json(R"({"schema_version": 99, "sites": []})", &err)
+          .has_value());
+  EXPECT_FALSE(DecisionCache::load("/nonexistent/path.json", &err)
+                   .has_value());
+  EXPECT_FALSE(err.empty());
+}
+
+TEST(DecisionCache, MatchEnforcesDimThreadsAndTolerance) {
+  CachedDecision d;
+  d.threads = 2;
+  d.signature.dim = 100;
+  d.signature.iterations = 1000;
+  d.signature.refs = 2000;
+  d.signature.sampled_index_sum = 10000;
+  PatternSignature same = d.signature;
+  EXPECT_TRUE(DecisionCache::matches(d, same, 2, 0.1));
+  EXPECT_FALSE(DecisionCache::matches(d, same, 4, 0.1));  // threads differ
+  PatternSignature other = same;
+  other.dim = 101;  // structural change: never matches
+  EXPECT_FALSE(DecisionCache::matches(d, other, 2, 0.1));
+  PatternSignature drifted = same;
+  drifted.refs = 2150;  // 7% drift: inside a 10% tolerance
+  EXPECT_TRUE(DecisionCache::matches(d, drifted, 2, 0.1));
+  drifted.refs = 2500;  // 20% drift: outside
+  EXPECT_FALSE(DecisionCache::matches(d, drifted, 2, 0.1));
+}
+
+TEST(Runtime, WarmStartAdoptsCachedSchemeAndSkipsCharacterization) {
+  const auto in = sparse_input();
+  const std::string path = ::testing::TempDir() + "core_runtime_cache.json";
+  std::vector<double> out(in.pattern.dim, 0.0);
+  SchemeKind learned{};
+  {
+    Runtime learner(uncalibrated(2));
+    (void)learner.submit("site", in, out);
+    learned = learner.site("site").current();
+    ASSERT_TRUE(learner.save_decisions(path));
+  }
+  RuntimeOptions o = uncalibrated(2);
+  o.decision_cache_path = path;
+  Runtime rt(o);
+  EXPECT_EQ(rt.warm_entries(), 1u);
+  std::fill(out.begin(), out.end(), 0.0);
+  (void)rt.submit("site", in, out);
+  const AdaptiveReducer& r = rt.site("site");
+  EXPECT_TRUE(r.warm_started());
+  EXPECT_EQ(r.current(), learned);
+  EXPECT_EQ(r.recharacterizations(), 0u);  // characterize was skipped
+  // And the warm-started site still computes the right answer.
+  std::vector<double> ref(in.pattern.dim, 0.0);
+  run_sequential(in, ref);
+  for (std::size_t e = 0; e < ref.size(); e += 503)
+    ASSERT_NEAR(ref[e], out[e], 1e-8);
+  std::remove(path.c_str());
+}
+
+TEST(Runtime, WarmStartFallsBackToColdPathOnSignatureMismatch) {
+  const auto in = sparse_input();
+  const std::string path =
+      ::testing::TempDir() + "core_runtime_cache_mismatch.json";
+  std::vector<double> out(in.pattern.dim, 0.0);
+  {
+    Runtime learner(uncalibrated(2));
+    (void)learner.submit("site", in, out);
+    ASSERT_TRUE(learner.save_decisions(path));
+  }
+  // Same site id, structurally different pattern (dim changed).
+  workloads::SynthParams p;
+  p.dim = 120000;
+  p.distinct = 700;
+  p.iterations = 1500;
+  p.refs_per_iter = 3;
+  p.seed = 78;
+  const auto other = workloads::make_synthetic(p);
+  RuntimeOptions o = uncalibrated(2);
+  o.decision_cache_path = path;
+  Runtime rt(o);
+  std::vector<double> out2(other.pattern.dim, 0.0);
+  (void)rt.submit("site", other, out2);
+  const AdaptiveReducer& r = rt.site("site");
+  EXPECT_FALSE(r.warm_started());
+  EXPECT_EQ(r.recharacterizations(), 1u);  // cold path taken
+  std::remove(path.c_str());
+}
+
+TEST(Runtime, WarmSnapshotCarriesEvidenceAndPredictionForward) {
+  const auto in = sparse_input();
+  const std::string path =
+      ::testing::TempDir() + "core_runtime_cache_carry.json";
+  std::vector<double> out(in.pattern.dim, 0.0);
+  std::string original_rationale;
+  {
+    Runtime learner(uncalibrated(2));
+    for (int k = 0; k < 5; ++k) (void)learner.submit("site", in, out);
+    original_rationale = learner.site("site").decision().rationale;
+    ASSERT_TRUE(learner.save_decisions(path));
+  }
+  const auto saved = DecisionCache::load(path);
+  ASSERT_TRUE(saved.has_value());
+  EXPECT_GT(saved->find("site")->predicted_total_s, 0.0);
+  EXPECT_EQ(saved->find("site")->invocations, 5u);
+
+  // A warm-started run that saves again must accumulate evidence and
+  // keep the original decider rationale, not reset both.
+  RuntimeOptions o = uncalibrated(2);
+  o.decision_cache_path = path;
+  Runtime rt(o);
+  for (int k = 0; k < 3; ++k) (void)rt.submit("site", in, out);
+  ASSERT_TRUE(rt.site("site").warm_started());
+  const DecisionCache resaved = rt.snapshot_decisions();
+  EXPECT_EQ(resaved.find("site")->invocations, 8u);  // 5 inherited + 3
+  EXPECT_EQ(resaved.find("site")->rationale, original_rationale);
+  EXPECT_GT(resaved.find("site")->predicted_total_s, 0.0);
+  std::remove(path.c_str());
+}
+
+TEST(Runtime, WarmStartWithPoisonedCacheEscapesViaRecharacterization) {
+  // A cache that promises an absurdly fast scheme (stale host, copied
+  // file) must not pin the site forever: sustained overruns against the
+  // cached prediction re-characterize on fresh evidence.
+  const auto in = sparse_input();
+  DecisionCache cache;
+  CachedDecision d;
+  d.site = "site";
+  d.scheme = SchemeKind::kRep;  // pessimal for this sparse pattern
+  d.threads = 2;
+  d.signature = PatternSignature::of(in.pattern);
+  d.predicted_total_s = 1e-12;  // everything overruns this
+  cache.put(d);
+  const std::string path =
+      ::testing::TempDir() + "core_runtime_cache_poison.json";
+  ASSERT_TRUE(cache.save(path));
+
+  RuntimeOptions o = uncalibrated(2);
+  o.decision_cache_path = path;
+  o.adaptive.mispredict_ratio = 2.0;
+  o.adaptive.mispredict_patience = 2;
+  Runtime rt(o);
+  std::vector<double> out(in.pattern.dim, 0.0);
+  (void)rt.submit("site", in, out);
+  EXPECT_TRUE(rt.site("site").warm_started());
+  EXPECT_EQ(rt.site("site").current(), SchemeKind::kRep);
+  for (int k = 0; k < 6; ++k) (void)rt.submit("site", in, out);
+  EXPECT_GE(rt.site("site").recharacterizations(), 1u);
+  EXPECT_FALSE(rt.site("site").warm_started());
+  std::remove(path.c_str());
+}
+
+TEST(Runtime, ThreadCountMismatchInvalidatesCachedDecision) {
+  const auto in = sparse_input();
+  const std::string path =
+      ::testing::TempDir() + "core_runtime_cache_threads.json";
+  std::vector<double> out(in.pattern.dim, 0.0);
+  {
+    Runtime learner(uncalibrated(2));
+    (void)learner.submit("site", in, out);
+    ASSERT_TRUE(learner.save_decisions(path));
+  }
+  RuntimeOptions o = uncalibrated(4);  // decision was learned under 2
+  o.decision_cache_path = path;
+  Runtime rt(o);
+  (void)rt.submit("site", in, out);
+  EXPECT_FALSE(rt.site("site").warm_started());
+  EXPECT_EQ(rt.site("site").recharacterizations(), 1u);
+  std::remove(path.c_str());
 }
 
 }  // namespace

@@ -136,7 +136,7 @@ TEST(ExperimentRegistry, BuiltinExperimentsAreStable) {
       "table2_appchar",          "ablation_fpunit",
       "ablation_linesize",       "ablation_placement",
       "ablation_flex_occupancy", "spec_rlrpd",
-      "overhead",
+      "overhead",                "adaptive_sites",
   };
   const auto& reg = builtin_experiments();
   ASSERT_GE(reg.size(), 9u);

@@ -1,0 +1,291 @@
+// Concurrency contract of the multi-site runtime.
+//
+// Many application threads submit through one sapp::Runtime — to disjoint
+// sites, to one contended site, and racing on the creation of a brand-new
+// site. Every submission must execute exactly once (invocation counters
+// add up and every output equals the sequential reference), and the whole
+// suite runs in the TSan CI job (see .github/workflows/ci.yml), so the
+// striped site table, the per-site serialization and the shared-pool
+// arbitration are race-checked, not just assumed.
+#include <gtest/gtest.h>
+
+#include <barrier>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/runtime.hpp"
+#include "workloads/workload.hpp"
+
+namespace sapp {
+namespace {
+
+/// Pool size for the runtime under test; SAPP_THREADS lets the CI thread
+/// matrix vary the worker side while the submitter side stays at 8.
+unsigned pool_threads() {
+  if (const char* s = std::getenv("SAPP_THREADS"); s != nullptr) {
+    const int v = std::atoi(s);
+    if (v >= 1 && v <= 64) return static_cast<unsigned>(v);
+  }
+  return 2;
+}
+
+RuntimeOptions quiet_options() {
+  RuntimeOptions o;
+  o.threads = pool_threads();
+  o.calibrate = false;  // deterministic, fast construction under TSan
+  // These tests pin concurrency semantics (exactly-once, site creation),
+  // not adaptation. Under TSan/ASan every measurement overruns the
+  // uncalibrated predictions, which would trigger scheme switches and
+  // mispredict-driven re-characterizations and make the counters flaky —
+  // so park the feedback loop.
+  o.adaptive.mispredict_patience = 1 << 30;
+  return o;
+}
+
+ReductionInput site_input(int variant) {
+  workloads::SynthParams p;
+  p.dim = 400 + 50 * static_cast<std::size_t>(variant);
+  p.distinct = p.dim / 2;
+  p.iterations = 600;
+  p.refs_per_iter = 2;
+  p.zipf_theta = 0.3;
+  p.seed = 9000 + static_cast<std::uint64_t>(variant);
+  auto in = workloads::make_synthetic(p);
+  in.pattern.loop_id = "conc/site" + std::to_string(variant);
+  return in;
+}
+
+void expect_matches_reference(const std::vector<double>& out,
+                              const std::vector<double>& ref,
+                              const char* what) {
+  for (std::size_t e = 0; e < ref.size(); ++e)
+    ASSERT_NEAR(out[e], ref[e], 1e-9) << what << " element " << e;
+}
+
+TEST(RuntimeConcurrency, DisjointSitesSubmitInParallel) {
+  constexpr int kThreads = 8;
+  constexpr int kInvocations = 15;
+  Runtime rt(quiet_options());
+
+  std::vector<ReductionInput> inputs;
+  std::vector<std::vector<double>> refs;
+  for (int t = 0; t < kThreads; ++t) {
+    inputs.push_back(site_input(t));
+    refs.emplace_back(inputs.back().pattern.dim, 0.0);
+    run_sequential(inputs.back(), refs.back());
+  }
+
+  std::barrier start(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      const ReductionInput& in = inputs[static_cast<std::size_t>(t)];
+      std::vector<double> out(in.pattern.dim);
+      start.arrive_and_wait();
+      for (int k = 0; k < kInvocations; ++k) {
+        std::fill(out.begin(), out.end(), 0.0);
+        (void)rt.submit(in, out);
+        expect_matches_reference(out, refs[static_cast<std::size_t>(t)],
+                                 "disjoint");
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(rt.site_count(), static_cast<std::size_t>(kThreads));
+  for (int t = 0; t < kThreads; ++t) {
+    const AdaptiveReducer& r =
+        rt.site(inputs[static_cast<std::size_t>(t)].pattern.loop_id);
+    // Exactly once per submission: no lost or duplicated invocations.
+    EXPECT_EQ(r.invocations(), static_cast<unsigned>(kInvocations));
+    EXPECT_EQ(r.recharacterizations(), 1u);  // the pattern never drifts
+  }
+}
+
+TEST(RuntimeConcurrency, SharedSiteSerializesExactlyOnce) {
+  constexpr int kThreads = 8;
+  constexpr int kInvocations = 10;
+  Runtime rt(quiet_options());
+  const ReductionInput in = site_input(99);
+  std::vector<double> ref(in.pattern.dim, 0.0);
+  run_sequential(in, ref);
+
+  std::barrier start(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      std::vector<double> out(in.pattern.dim);
+      start.arrive_and_wait();
+      for (int k = 0; k < kInvocations; ++k) {
+        std::fill(out.begin(), out.end(), 0.0);
+        (void)rt.submit(in, out);
+        expect_matches_reference(out, ref, "shared");
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(rt.site_count(), 1u);
+  EXPECT_EQ(rt.site(in.pattern.loop_id).invocations(),
+            static_cast<unsigned>(kThreads * kInvocations));
+}
+
+TEST(RuntimeConcurrency, RacingFirstSubmissionCreatesOneSite) {
+  constexpr int kThreads = 8;
+  Runtime rt(quiet_options());
+  const ReductionInput in = site_input(7);
+  std::vector<double> ref(in.pattern.dim, 0.0);
+  run_sequential(in, ref);
+
+  std::barrier start(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      std::vector<double> out(in.pattern.dim, 0.0);
+      start.arrive_and_wait();  // all hit the cold site simultaneously
+      (void)rt.submit(in, out);
+      expect_matches_reference(out, ref, "racing-create");
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(rt.site_count(), 1u);
+  const AdaptiveReducer& r = rt.site(in.pattern.loop_id);
+  EXPECT_EQ(r.invocations(), static_cast<unsigned>(kThreads));
+  EXPECT_EQ(r.recharacterizations(), 1u);  // one winner characterized
+}
+
+TEST(RuntimeConcurrency, MixedDisjointAndSharedTraffic) {
+  // Half the submitters own private sites, half hammer one shared site —
+  // the striped table serves both kinds of traffic at once.
+  constexpr int kThreads = 8;
+  constexpr int kInvocations = 8;
+  Runtime rt(quiet_options());
+
+  std::vector<ReductionInput> inputs;
+  std::vector<std::vector<double>> refs;
+  for (int t = 0; t <= kThreads / 2; ++t) {
+    inputs.push_back(site_input(t));
+    refs.emplace_back(inputs.back().pattern.dim, 0.0);
+    run_sequential(inputs.back(), refs.back());
+  }
+
+  std::barrier start(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    // Threads 0..3 -> private sites 1..4; threads 4..7 -> shared site 0.
+    const std::size_t s =
+        t < kThreads / 2 ? static_cast<std::size_t>(t) + 1 : 0;
+    threads.emplace_back([&, s] {
+      const ReductionInput& in = inputs[s];
+      std::vector<double> out(in.pattern.dim);
+      start.arrive_and_wait();
+      for (int k = 0; k < kInvocations; ++k) {
+        std::fill(out.begin(), out.end(), 0.0);
+        (void)rt.submit(in, out);
+        expect_matches_reference(out, refs[s], "mixed");
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(rt.site_count(), static_cast<std::size_t>(kThreads / 2 + 1));
+  unsigned total = 0;
+  for (const auto& id : rt.site_ids()) total += rt.site(id).invocations();
+  EXPECT_EQ(total, static_cast<unsigned>(kThreads * kInvocations));
+  EXPECT_EQ(rt.site(inputs[0].pattern.loop_id).invocations(),
+            static_cast<unsigned>(kThreads / 2 * kInvocations));
+}
+
+TEST(RuntimeConcurrency, ReportAndSnapshotRaceSubmitters) {
+  // report() and snapshot_decisions() take each site's mutex, so reading
+  // live reducer state while other threads submit must be race-free
+  // (this test exists to run under TSan).
+  constexpr int kSubmitters = 4;
+  constexpr int kInvocations = 12;
+  Runtime rt(quiet_options());
+  std::vector<ReductionInput> inputs;
+  for (int t = 0; t < kSubmitters; ++t) inputs.push_back(site_input(300 + t));
+
+  std::barrier start(kSubmitters + 1);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kSubmitters; ++t) {
+    threads.emplace_back([&, t] {
+      const ReductionInput& in = inputs[static_cast<std::size_t>(t)];
+      std::vector<double> out(in.pattern.dim, 0.0);
+      start.arrive_and_wait();
+      for (int k = 0; k < kInvocations; ++k) (void)rt.submit(in, out);
+    });
+  }
+  threads.emplace_back([&] {
+    start.arrive_and_wait();
+    for (int k = 0; k < kInvocations; ++k) {
+      EXPECT_FALSE(rt.report().empty());
+      (void)rt.snapshot_decisions();
+    }
+  });
+  for (auto& th : threads) th.join();
+
+  unsigned total = 0;
+  for (const auto& id : rt.site_ids()) total += rt.site(id).invocations();
+  EXPECT_EQ(total, static_cast<unsigned>(kSubmitters * kInvocations));
+  EXPECT_EQ(rt.snapshot_decisions().size(),
+            static_cast<std::size_t>(kSubmitters));
+}
+
+TEST(RuntimeConcurrency, ConcurrentWarmStartsAdoptCachedDecisions) {
+  // A learner runtime persists its decisions; a second runtime warm-starts
+  // every site under concurrent first submissions.
+  constexpr int kThreads = 6;
+  const std::string path =
+      ::testing::TempDir() + "runtime_concurrency_cache.json";
+
+  std::vector<ReductionInput> inputs;
+  std::vector<std::vector<double>> refs;
+  for (int t = 0; t < kThreads; ++t) {
+    inputs.push_back(site_input(200 + t));
+    refs.emplace_back(inputs.back().pattern.dim, 0.0);
+    run_sequential(inputs.back(), refs.back());
+  }
+
+  {
+    Runtime learner(quiet_options());
+    std::vector<double> out;
+    for (const auto& in : inputs) {
+      out.assign(in.pattern.dim, 0.0);
+      (void)learner.submit(in, out);
+    }
+    ASSERT_TRUE(learner.save_decisions(path));
+  }
+
+  RuntimeOptions o = quiet_options();
+  o.decision_cache_path = path;
+  Runtime rt(o);
+  EXPECT_EQ(rt.warm_entries(), static_cast<std::size_t>(kThreads));
+
+  std::barrier start(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      const ReductionInput& in = inputs[static_cast<std::size_t>(t)];
+      std::vector<double> out(in.pattern.dim, 0.0);
+      start.arrive_and_wait();
+      (void)rt.submit(in, out);
+      expect_matches_reference(out, refs[static_cast<std::size_t>(t)],
+                               "warm");
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  for (const auto& in : inputs) {
+    const AdaptiveReducer& r = rt.site(in.pattern.loop_id);
+    EXPECT_TRUE(r.warm_started()) << in.pattern.loop_id;
+    EXPECT_EQ(r.recharacterizations(), 0u) << in.pattern.loop_id;
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace sapp

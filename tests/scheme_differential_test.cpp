@@ -1,0 +1,321 @@
+// Differential scheme-conformance suite.
+//
+// Randomized (pattern x operator x thread-count) cases check every scheme
+// in the library against the sequential reference. The explicit tolerance
+// policy, per scheme:
+//
+//   * seq, and every scheme under the exact operators max/min — bitwise
+//     equal to the sequential reference (comparisons never round, so any
+//     combine order yields the identical double);
+//   * lw under sum — bitwise equal to the sequential reference: each
+//     element is written only by its owner thread, which replays all
+//     relevant iterations in ascending order, i.e. exactly seq's
+//     per-element accumulation order;
+//   * rep, sel, ll, hash under sum — deterministic by contract (PR 3):
+//     bitwise equal to the ascending-thread-order fold reference (per
+//     element, per-thread partials computed under the static block
+//     schedule and folded in ascending thread order), which is itself
+//     checked against seq under the summation error bound below;
+//   * atomic, critical under sum — combine order is nondeterministic by
+//     construction, so the check is ULP-style error-bounded: per element,
+//     |got - seq| <= (4 + n_e) * eps * Sigma|contribution|, the standard
+//     bound for reassociated summation of n_e terms (scaled by the
+//     absolute-value sum, which dominates cancellation).
+//
+// 240 cases (>= 200 per the suite's contract) sweep dimension, iteration
+// count, references per iteration (including zero), Zipf skew, body flops,
+// lw legality, thread counts {1,2,3,4,8, SAPP_THREADS} and the operators
+// {sum, max, min}.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "reductions/registry.hpp"
+#include "reductions/scheme_atomic.hpp"
+#include "reductions/scheme_critical.hpp"
+#include "reductions/scheme_hash.hpp"
+#include "reductions/scheme_ll.hpp"
+#include "reductions/scheme_lw.hpp"
+#include "reductions/scheme_rep.hpp"
+#include "reductions/scheme_sel.hpp"
+#include "reductions/scheme_seq.hpp"
+
+namespace sapp {
+namespace {
+
+enum class OpKind { kSum, kMax, kMin };
+
+const char* op_name(OpKind op) {
+  switch (op) {
+    case OpKind::kSum: return "sum";
+    case OpKind::kMax: return "max";
+    case OpKind::kMin: return "min";
+  }
+  return "?";
+}
+
+struct CaseParams {
+  std::size_t dim = 0;
+  std::size_t iterations = 0;
+  unsigned max_refs_per_iter = 0;
+  double theta = 0.0;
+  unsigned body_flops = 0;
+  bool lw_legal = true;
+  unsigned threads = 1;
+  OpKind op = OpKind::kSum;
+};
+
+/// SAPP_THREADS, so the CI thread matrix genuinely varies this suite.
+unsigned env_threads() {
+  if (const char* s = std::getenv("SAPP_THREADS"); s != nullptr) {
+    const int v = std::atoi(s);
+    if (v >= 1 && v <= 64) return static_cast<unsigned>(v);
+  }
+  return 2;
+}
+
+/// Deterministic case derivation: every case is reproducible from its
+/// index alone (failures print the index).
+CaseParams derive_case(int i) {
+  Rng rng(0xD1FFu + static_cast<std::uint64_t>(i) * 7919u);
+  CaseParams c;
+  c.dim = 1 + static_cast<std::size_t>(rng.uniform(0.0, 1.0) *
+                                       rng.uniform(0.0, 1.0) * 4000.0);
+  // One case in ~8 is degenerate: zero iterations.
+  c.iterations = (i % 8 == 7)
+                     ? 0
+                     : 1 + static_cast<std::size_t>(
+                               rng.uniform(0.0, 1.0) * 2500.0);
+  c.max_refs_per_iter = static_cast<unsigned>(rng.uniform(0.0, 6.99));
+  // The op/theta/thread axes are drawn independently from the per-case
+  // Rng — correlated moduli (i % 3, i % 6, ...) would lock the axes
+  // together and leave most of the claimed cross-product unexercised.
+  const double thetas[] = {0.0, 0.6, 1.2};
+  c.theta = thetas[static_cast<int>(rng.uniform(0.0, 2.99))];
+  c.body_flops = static_cast<unsigned>(rng.uniform(0.0, 3.99));
+  c.lw_legal = rng.uniform(0.0, 1.0) < 0.8;
+  const unsigned pool_sizes[] = {1, 2, 3, 4, 8, env_threads()};
+  c.threads = pool_sizes[static_cast<int>(rng.uniform(0.0, 5.99))];
+  c.op = static_cast<OpKind>(static_cast<int>(rng.uniform(0.0, 2.99)));
+  return c;
+}
+
+ReductionInput build_input(const CaseParams& c, int i) {
+  Rng rng(0xABCDu + static_cast<std::uint64_t>(i) * 104729u);
+  std::vector<std::uint64_t> ptr{0};
+  std::vector<std::uint32_t> idx;
+  for (std::size_t it = 0; it < c.iterations; ++it) {
+    // Jittered per-iteration reference count, including empty iterations.
+    const auto nrefs = static_cast<unsigned>(
+        rng.uniform(0.0, static_cast<double>(c.max_refs_per_iter) + 0.99));
+    for (unsigned r = 0; r < nrefs; ++r)
+      idx.push_back(static_cast<std::uint32_t>(rng.zipf(c.dim, c.theta)));
+    ptr.push_back(idx.size());
+  }
+  ReductionInput in;
+  in.pattern.dim = c.dim;
+  in.pattern.refs = Csr(std::move(ptr), std::move(idx));
+  in.pattern.body_flops = c.body_flops;
+  in.pattern.iteration_replication_legal = c.lw_legal;
+  in.values.resize(in.pattern.num_refs());
+  for (auto& v : in.values) v = rng.uniform(-2.0, 2.0);
+  return in;
+}
+
+template <typename Op>
+std::unique_ptr<Scheme> make_scheme_op(SchemeKind k) {
+  switch (k) {
+    case SchemeKind::kSeq: return nullptr;  // handled by the reference
+    case SchemeKind::kAtomic: return std::make_unique<AtomicScheme<Op>>();
+    case SchemeKind::kCritical:
+      return std::make_unique<CriticalScheme<Op>>();
+    case SchemeKind::kRep: return std::make_unique<RepScheme<Op>>();
+    case SchemeKind::kLocalWrite:
+      return std::make_unique<LocalWriteScheme<Op>>();
+    case SchemeKind::kLinked: return std::make_unique<LinkedScheme<Op>>();
+    case SchemeKind::kSelective:
+      return std::make_unique<SelectiveScheme<Op>>();
+    case SchemeKind::kHash: return std::make_unique<HashScheme<Op>>();
+  }
+  return nullptr;
+}
+
+/// Sequential reference under Op: out[e] = Op(out[e], contribution) in
+/// iteration order — what SeqScheme computes for sum, generalized.
+template <typename Op>
+void op_sequential(const ReductionInput& in, std::vector<double>& out) {
+  const auto& ptr = in.pattern.refs.row_ptr();
+  const auto& idx = in.pattern.refs.indices();
+  for (std::size_t i = 0; i < in.pattern.iterations(); ++i) {
+    const double s = iteration_scale(i, in.pattern.body_flops);
+    for (std::uint64_t j = ptr[i]; j < ptr[i + 1]; ++j)
+      out[idx[j]] = Op::apply(out[idx[j]], in.values[j] * s);
+  }
+}
+
+/// Ascending-thread-order fold reference under Op: per-thread partials
+/// under the static block schedule, touched partials folded into out in
+/// ascending thread order — the combine order rep/sel/ll/hash promise.
+template <typename Op>
+void op_thread_fold(const ReductionInput& in, unsigned P,
+                    std::vector<double>& out) {
+  const auto& ptr = in.pattern.refs.row_ptr();
+  const auto& idx = in.pattern.refs.indices();
+  std::vector<std::vector<double>> val(
+      P, std::vector<double>(in.pattern.dim, Op::neutral()));
+  std::vector<std::vector<bool>> touched(
+      P, std::vector<bool>(in.pattern.dim, false));
+  for (unsigned t = 0; t < P; ++t) {
+    const Range rg = static_block(in.pattern.iterations(), t, P);
+    for (std::size_t i = rg.begin; i < rg.end; ++i) {
+      const double s = iteration_scale(i, in.pattern.body_flops);
+      for (std::uint64_t j = ptr[i]; j < ptr[i + 1]; ++j) {
+        const std::uint32_t e = idx[j];
+        val[t][e] = Op::apply(val[t][e], in.values[j] * s);
+        touched[t][e] = true;
+      }
+    }
+  }
+  for (std::size_t e = 0; e < in.pattern.dim; ++e)
+    for (unsigned t = 0; t < P; ++t)
+      if (touched[t][e]) out[e] = Op::apply(out[e], val[t][e]);
+}
+
+/// Per-element |contribution| sum and count, for the summation error
+/// bound on the order-nondeterministic schemes.
+void contribution_bounds(const ReductionInput& in, std::vector<double>& abs,
+                         std::vector<std::size_t>& cnt) {
+  const auto& ptr = in.pattern.refs.row_ptr();
+  const auto& idx = in.pattern.refs.indices();
+  for (std::size_t i = 0; i < in.pattern.iterations(); ++i) {
+    const double s = iteration_scale(i, in.pattern.body_flops);
+    for (std::uint64_t j = ptr[i]; j < ptr[i + 1]; ++j) {
+      abs[idx[j]] += std::abs(in.values[j] * s);
+      ++cnt[idx[j]];
+    }
+  }
+}
+
+void expect_bitwise(const std::vector<double>& got,
+                    const std::vector<double>& ref, const std::string& what) {
+  ASSERT_EQ(got.size(), ref.size()) << what;
+  for (std::size_t e = 0; e < got.size(); ++e)
+    ASSERT_EQ(std::memcmp(&got[e], &ref[e], sizeof(double)), 0)
+        << what << ": element " << e << ": " << got[e] << " vs " << ref[e];
+}
+
+void expect_error_bounded(const std::vector<double>& got,
+                          const std::vector<double>& ref,
+                          const std::vector<double>& abs,
+                          const std::vector<std::size_t>& cnt,
+                          const std::string& what) {
+  constexpr double eps = std::numeric_limits<double>::epsilon();
+  for (std::size_t e = 0; e < got.size(); ++e) {
+    const double bound =
+        (4.0 + static_cast<double>(cnt[e])) * eps * abs[e] +
+        std::numeric_limits<double>::denorm_min();
+    ASSERT_LE(std::abs(got[e] - ref[e]), bound)
+        << what << ": element " << e << ": " << got[e] << " vs " << ref[e]
+        << " (n=" << cnt[e] << ", abs-sum=" << abs[e] << ")";
+  }
+}
+
+template <typename Op>
+void run_case(const CaseParams& c, const ReductionInput& in, ThreadPool& pool,
+              int index) {
+  const std::string tag = "case " + std::to_string(index) + " (dim=" +
+                          std::to_string(c.dim) + ", iters=" +
+                          std::to_string(c.iterations) + ", P=" +
+                          std::to_string(c.threads) + ", op=" +
+                          op_name(c.op) + ")";
+  const bool exact_op = c.op != OpKind::kSum;
+
+  std::vector<double> ref_seq(in.pattern.dim, Op::neutral());
+  op_sequential<Op>(in, ref_seq);
+  std::vector<double> ref_fold(in.pattern.dim, Op::neutral());
+  op_thread_fold<Op>(in, pool.size(), ref_fold);
+
+  std::vector<double> abs(in.pattern.dim, 0.0);
+  std::vector<std::size_t> cnt(in.pattern.dim, 0);
+  if (!exact_op) {
+    contribution_bounds(in, abs, cnt);
+    // The fold reference itself must agree with seq under the summation
+    // bound — otherwise the bitwise checks below would pin a wrong value.
+    expect_error_bounded(ref_fold, ref_seq, abs, cnt, tag + " fold-vs-seq");
+  } else {
+    // Exact operators: reassociation cannot change the result at all.
+    expect_bitwise(ref_fold, ref_seq, tag + " fold-vs-seq");
+  }
+
+  // seq itself: the library scheme must equal the reference (sum only —
+  // SeqScheme is the double/sum instantiation).
+  if (c.op == OpKind::kSum) {
+    SeqScheme seq;
+    std::vector<double> out(in.pattern.dim, 0.0);
+    (void)seq.run(in, pool, out);
+    expect_bitwise(out, ref_seq, tag + " seq");
+  }
+
+  for (const SchemeKind kind : all_scheme_kinds()) {
+    if (kind == SchemeKind::kSeq) continue;
+    const auto scheme = make_scheme_op<Op>(kind);
+    ASSERT_NE(scheme, nullptr);
+    if (!scheme->applicable(in.pattern)) {
+      EXPECT_EQ(kind, SchemeKind::kLocalWrite) << tag;
+      EXPECT_FALSE(c.lw_legal) << tag;
+      continue;
+    }
+    std::vector<double> out(in.pattern.dim, Op::neutral());
+    (void)scheme->run(in, pool, out);
+    const std::string what = tag + " " + std::string(to_string(kind));
+    if (exact_op) {
+      expect_bitwise(out, ref_seq, what);
+      continue;
+    }
+    switch (kind) {
+      case SchemeKind::kRep:
+      case SchemeKind::kSelective:
+      case SchemeKind::kLinked:
+      case SchemeKind::kHash:
+        expect_bitwise(out, ref_fold, what);
+        break;
+      case SchemeKind::kLocalWrite:
+        expect_bitwise(out, ref_seq, what);
+        break;
+      case SchemeKind::kAtomic:
+      case SchemeKind::kCritical:
+        expect_error_bounded(out, ref_seq, abs, cnt, what);
+        break;
+      default:
+        FAIL() << what << ": unexpected scheme kind";
+    }
+  }
+}
+
+TEST(SchemeDifferential, RandomizedPatternOperatorThreadSweep) {
+  constexpr int kCases = 240;
+  std::map<unsigned, std::unique_ptr<ThreadPool>> pools;
+  for (int i = 0; i < kCases; ++i) {
+    const CaseParams c = derive_case(i);
+    const ReductionInput in = build_input(c, i);
+    auto& pool = pools[c.threads];
+    if (!pool) pool = std::make_unique<ThreadPool>(c.threads);
+    switch (c.op) {
+      case OpKind::kSum: run_case<SumOp<double>>(c, in, *pool, i); break;
+      case OpKind::kMax: run_case<MaxOp<double>>(c, in, *pool, i); break;
+      case OpKind::kMin: run_case<MinOp<double>>(c, in, *pool, i); break;
+    }
+    if (HasFatalFailure()) return;  // the case index is in the message
+  }
+}
+
+}  // namespace
+}  // namespace sapp
