@@ -7,12 +7,29 @@
 
 namespace sapp {
 
+namespace {
+/// The monitor's knobs live in AdaptiveOptions::monitor except the pattern
+/// threshold, which predates them as AdaptiveOptions::drift_threshold.
+PhaseMonitorOptions merged_monitor_options(const AdaptiveOptions& opt) {
+  PhaseMonitorOptions mo = opt.monitor;
+  mo.pattern_threshold = opt.drift_threshold;
+  return mo;
+}
+
+double median_of(std::vector<double> xs) {
+  if (xs.empty()) return 0.0;
+  const auto mid = xs.begin() + static_cast<std::ptrdiff_t>(xs.size() / 2);
+  std::nth_element(xs.begin(), mid, xs.end());
+  return *mid;
+}
+}  // namespace
+
 AdaptiveReducer::AdaptiveReducer(ThreadPool& pool, MachineCoeffs coeffs,
                                  AdaptiveOptions opt)
     : pool_(pool),
       coeffs_(coeffs),
       opt_(opt),
-      monitor_(opt.drift_threshold) {}
+      monitor_(merged_monitor_options(opt)) {}
 
 AdaptiveReducer::~AdaptiveReducer() = default;
 
@@ -32,7 +49,15 @@ void AdaptiveReducer::reset_feedback(const PatternSignature& sig, bool warm) {
   overruns_ = 0;
   abandoned_.clear();
   warm_started_ = warm;
+  phase_history_.clear();  // the history describes the previous decision
   if (!warm) invocations_base_ = 0;  // fresh evidence supersedes the cache
+}
+
+void AdaptiveReducer::record_phase_time(double seconds) {
+  if (!(seconds > 0.0)) return;
+  if (phase_history_.size() >= DecisionCache::kMaxPhaseHistory)
+    phase_history_.erase(phase_history_.begin());
+  phase_history_.push_back(seconds);
 }
 
 void AdaptiveReducer::characterize_and_decide(const AccessPattern& p) {
@@ -98,10 +123,30 @@ SchemeResult AdaptiveReducer::invoke(const ReductionInput& in,
       }
       invocations_base_ = warm_->invocations;
       reset_feedback(sig, /*warm=*/true);
+      // Arm the time-drift detector from the persisted phase history: the
+      // baseline is measured evidence, not a model prediction, and no
+      // warmup is taken — a cache whose history contradicts what this
+      // host/input actually measures is demoted within the first
+      // monitored window instead of being trusted until it overruns the
+      // (possibly absent) prediction.
+      if (!warm_->phase_times_s.empty()) {
+        monitor_.seed_time_baseline(median_of(warm_->phase_times_s));
+        phase_history_ = warm_->phase_times_s;  // carry forward on re-save
+      }
     } else {
       characterize_and_decide(in.pattern);
     }
     warm_.reset();
+  } else if (opt_.freeze_decisions) {
+    // Frozen ablation (phase_drift baseline): pattern drift only rebuilds
+    // the inspector plan for the frozen scheme — a plan is
+    // pattern-specific, so executing a stale one on a drifted input would
+    // be unsafe — and never revisits the decision itself.
+    const PatternSignature sig = PatternSignature::of(in.pattern);
+    if (monitor_.observe(sig)) {
+      adopt(scheme_->kind(), in.pattern);
+      monitor_.rebase(sig);
+    }
   } else if (monitor_.observe(PatternSignature::of(in.pattern))) {
     characterize_and_decide(in.pattern);
   }
@@ -109,6 +154,20 @@ SchemeResult AdaptiveReducer::invoke(const ReductionInput& in,
 
   SchemeResult r = execute_arbitrated(in, out);
   r.inspect_s += adapt_s;
+
+  record_phase_time(r.total_s());
+  if (opt_.freeze_decisions) return r;
+
+  // Time-drift demotion: the EWMA of measured times has moved away from
+  // the baseline this decision was adopted under (or from the persisted
+  // history on a warm start) for a sustained stretch — the input is in a
+  // new phase, so the decision is demoted and the site re-characterizes.
+  // Takes effect from the next invocation, like a mispredict switch.
+  if (monitor_.observe_time(r.total_s())) {
+    ++time_demotions_;
+    characterize_and_decide(in.pattern);
+    return r;
+  }
 
   // Feedback: compare measured against the model's prediction for the
   // selected scheme; persistent overruns promote the runner-up.
@@ -129,6 +188,10 @@ SchemeResult AdaptiveReducer::invoke(const ReductionInput& in,
           adopt(cp.scheme, in.pattern);
           ++switches_;
           switched = true;
+          // The old scheme's time baseline (and history) say nothing
+          // about the new scheme.
+          monitor_.reset_time();
+          phase_history_.clear();
           break;
         }
       }

@@ -6,16 +6,27 @@
 //   * first invocation: characterize the pattern, decide a scheme (cost
 //     model or rule taxonomy), build its inspector plan, execute;
 //   * later invocations: reuse scheme + plan while the pattern is stable;
-//   * drift (PhaseMonitor) triggers re-characterization and re-decision;
+//   * drift (PhaseMonitor) — pattern-fingerprint accumulation *or* a
+//     sustained shift of the measured-time EWMA away from the baseline the
+//     current decision was made under — demotes the decision and triggers
+//     re-characterization;
 //   * sustained mispredictions (measured ≫ predicted) trigger a switch to
 //     the runner-up scheme — the Fig. 1 "monitor performance and adapt"
 //     feedback loop realized as library code.
+//
+// The reducer keeps a bounded ring of measured per-invocation phase times;
+// `sapp::Runtime` persists it in the decision cache, and a warm start
+// seeds the time-drift baseline from that history so the feedback loop
+// survives process restarts armed (docs/adaptivity.md walks the full
+// lifecycle).
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <span>
+#include <vector>
 
 #include "core/decision.hpp"
 #include "core/decision_cache.hpp"
@@ -39,6 +50,16 @@ struct AdaptiveOptions {
   /// Relative signature drift a cached decision may show and still be
   /// adopted on a warm start (see DecisionCache::matches).
   double warm_match_tolerance = 0.1;
+  /// Time-drift detector knobs (EWMA smoothing, ratio, patience, noise
+  /// floor). `monitor.pattern_threshold` is overridden by
+  /// `drift_threshold` above.
+  PhaseMonitorOptions monitor{};
+  /// Freeze the first decision for the lifetime of the site: pattern drift
+  /// only rebuilds the inspector plan for the frozen scheme (a plan is
+  /// pattern-specific, so executing a stale one would be unsafe) and the
+  /// time/mispredict feedback is disabled. This is the pre-phase-aware
+  /// behaviour, kept as the `sapp_repro phase_drift` ablation baseline.
+  bool freeze_decisions = false;
 };
 
 /// Adaptive multi-version reduction executor for one loop site.
@@ -88,6 +109,18 @@ class AdaptiveReducer {
     return recharacterizations_;
   }
   [[nodiscard]] unsigned scheme_switches() const { return switches_; }
+  /// Re-characterizations forced by the time-drift detector specifically
+  /// (a subset of recharacterizations()).
+  [[nodiscard]] unsigned time_drift_demotions() const {
+    return time_demotions_;
+  }
+  /// Measured per-invocation phase times under the current scheme since
+  /// the last re-characterization (oldest first, bounded by
+  /// DecisionCache::kMaxPhaseHistory; a warm start inherits the cached
+  /// history). This is what Runtime::snapshot_decisions persists.
+  [[nodiscard]] const std::vector<double>& phase_history() const {
+    return phase_history_;
+  }
   /// True when the current scheme was adopted from a decision cache
   /// without characterizing (reset by the next re-characterization).
   [[nodiscard]] bool warm_started() const { return warm_started_; }
@@ -96,6 +129,7 @@ class AdaptiveReducer {
   void characterize_and_decide(const AccessPattern& p);
   void adopt(SchemeKind kind, const AccessPattern& p);
   void reset_feedback(const PatternSignature& sig, bool warm);
+  void record_phase_time(double seconds);
   SchemeResult execute_arbitrated(const ReductionInput& in,
                                   std::span<double> out);
 
@@ -117,10 +151,13 @@ class AdaptiveReducer {
   unsigned invocations_ = 0;
   unsigned recharacterizations_ = 0;
   unsigned switches_ = 0;
+  unsigned time_demotions_ = 0;
   int overruns_ = 0;
   bool warm_started_ = false;
   /// Invocation evidence inherited from the cache entry on a warm start.
   std::uint64_t invocations_base_ = 0;
+  /// Bounded ring of measured phase times (see phase_history()).
+  std::vector<double> phase_history_;
 };
 
 }  // namespace sapp

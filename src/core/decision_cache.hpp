@@ -3,10 +3,15 @@
 // The paper's Fig. 2 ToolBox keeps "application and system specific
 // databases"; this is the application half: per loop site, the scheme the
 // adaptive runtime settled on together with the PatternSignature it was
-// learned for and the thread count it is valid under. On a warm start
-// `sapp::Runtime` adopts the remembered scheme directly and skips the
-// first-invocation characterization + decision (the expensive
-// O(refs + dim) inspector sweep). Persistence is explicit: `Runtime::save_decisions()` writes the
+// learned for, the thread count it is valid under, and a bounded history
+// of measured per-invocation phase times. On a warm start `sapp::Runtime`
+// adopts the remembered scheme directly and skips the first-invocation
+// characterization + decision (the expensive O(refs + dim) inspector
+// sweep), and the phase history arms the PhaseMonitor's time-drift
+// detector immediately — a warm-started site whose cached history
+// contradicts fresh measurements re-characterizes within the first
+// monitored window instead of trusting the stale scheme.
+// Persistence is explicit: `Runtime::save_decisions()` writes the
 // file (typically at the end of a run); the constructor loads
 // `RuntimeOptions::decision_cache_path` when it is set. A cached entry is
 // only adopted when the first observed pattern still matches its recorded
@@ -14,8 +19,10 @@
 // characterize-and-decide path.
 //
 // The file format is JSON rendered by src/repro/json (schema documented in
-// docs/reproducing.md, "The decision-cache file"). Caches are host- and
-// thread-count-specific, like the rest of docs/results/.
+// docs/adaptivity.md, "The on-disk decision cache"; schema_version 2 —
+// version-1 files without phase history are treated as absent, a graceful
+// cold start). Caches are host- and thread-count-specific, like the rest
+// of docs/results/.
 #pragma once
 
 #include <optional>
@@ -40,6 +47,14 @@ struct CachedDecision {
   /// re-characterization instead of trusting a stale cache forever.
   /// 0 = unknown (feedback resumes after the next re-characterization).
   double predicted_total_s = 0.0;
+  /// Bounded history of *measured* per-invocation phase times (seconds,
+  /// oldest first, at most `DecisionCache::kMaxPhaseHistory` entries) under
+  /// `scheme`. A warm-started site seeds its PhaseMonitor time baseline
+  /// from the median of this history, so the feedback loop arrives armed
+  /// with evidence instead of a model prediction — and re-decides within
+  /// the first monitored window when fresh measurements contradict it
+  /// (stale host, copied file, input moved to a new phase).
+  std::vector<double> phase_times_s;
   std::uint64_t invocations = 0;  ///< cumulative evidence behind the decision
   std::string rationale;          ///< human-readable provenance
 };
@@ -47,6 +62,11 @@ struct CachedDecision {
 /// Site-id keyed collection of cached decisions with a JSON round trip.
 class DecisionCache {
  public:
+  /// Cap on the persisted phase-time history per site: enough to smooth a
+  /// median over, small enough that cache files stay diff-sized.
+  /// `to_json` keeps the most recent entries when given more.
+  static constexpr std::size_t kMaxPhaseHistory = 16;
+
   /// Insert or replace the entry for `d.site`.
   void put(CachedDecision d);
 

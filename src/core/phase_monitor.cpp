@@ -38,7 +38,7 @@ bool PhaseMonitor::observe(const PatternSignature& sig) {
   }
   // Structural change (different loop extent/array) always triggers.
   if (sig.dim != base_.dim) {
-    accumulated_ = threshold_;
+    accumulated_ = opt_.pattern_threshold;
     return true;
   }
   // Incremental accumulation of the change vs. the previous invocation —
@@ -53,7 +53,39 @@ bool PhaseMonitor::observe(const PatternSignature& sig) {
                         static_cast<double>(last_.sampled_index_sum));
   accumulated_ += step;
   last_ = sig;
-  return accumulated_ >= threshold_;
+  return accumulated_ >= opt_.pattern_threshold;
+}
+
+bool PhaseMonitor::observe_time(double seconds) {
+  if (!(seconds > 0.0) || !std::isfinite(seconds)) return false;
+  // Establish the baseline from the first `time_warmup` observations after
+  // a rebase (a seeded baseline skips this: history is the baseline).
+  if (!time_seeded_ && time_samples_ < opt_.time_warmup) {
+    ++time_samples_;
+    time_baseline_ +=
+        (seconds - time_baseline_) / static_cast<double>(time_samples_);
+    time_ewma_ = time_baseline_;
+    return false;
+  }
+  if (time_baseline_ <= 0.0) return false;
+  time_ewma_ = opt_.time_alpha * seconds + (1.0 - opt_.time_alpha) * time_ewma_;
+  const bool ewma_breach =
+      time_ewma_ > opt_.time_drift_ratio * time_baseline_ ||
+      time_baseline_ > opt_.time_drift_ratio * time_ewma_;
+  // The raw sample must breach too: a single huge spike (preemption, page
+  // fault storm) poisons the EWMA for several invocations, and without
+  // this check the decaying average alone would stretch the streak past
+  // the patience and fire on what was one bad invocation.
+  const bool sample_breach = seconds > opt_.time_drift_ratio * time_baseline_ ||
+                             time_baseline_ > opt_.time_drift_ratio * seconds;
+  const bool above_noise =
+      std::abs(time_ewma_ - time_baseline_) > opt_.time_noise_floor_s;
+  if (ewma_breach && sample_breach && above_noise) {
+    ++time_streak_;
+  } else {
+    time_streak_ = 0;
+  }
+  return time_streak_ >= opt_.time_drift_patience;
 }
 
 }  // namespace sapp

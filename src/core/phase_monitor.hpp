@@ -5,10 +5,26 @@
 //  changes are significant enough (a threshold that is tested at run-time)
 //  then a re-characterization of the reference pattern is needed."
 //
-// `PhaseMonitor` keeps a cheap signature of the last characterized pattern
-// and accumulates relative change across invocations; when the accumulated
-// change passes the threshold, the adaptive reducer re-characterizes and
-// re-decides.
+// `PhaseMonitor` watches one loop site across program phases through two
+// independent detectors, either of which demands re-characterization:
+//
+//   * **pattern drift** — a cheap `PatternSignature` of each invocation's
+//     access pattern is compared against the previous one; relative change
+//     accumulates, so slow continuous drift adds up while transient jitter
+//     does not (`pattern_threshold`);
+//   * **time drift** — an EWMA of the measured per-invocation execution
+//     time is compared against the baseline established when the current
+//     scheme was adopted; a sustained ratio breach in either direction
+//     (`time_drift_ratio` for `time_drift_patience` consecutive
+//     invocations) means the input has moved into a phase the current
+//     decision was not made for, even when the fingerprint looks stable
+//     (e.g. a connectivity reshuffle that only destroys locality).
+//
+// The time baseline can also be **seeded from persisted phase history**
+// (`seed_time_baseline`), so a warm-started site arrives with the detector
+// already armed and re-decides within the first monitored window when the
+// cached history contradicts fresh measurements. See docs/adaptivity.md
+// for the full decision lifecycle.
 #pragma once
 
 #include <cstdint>
@@ -30,40 +46,114 @@ struct PatternSignature {
                              std::size_t sample_stride = 64);
 };
 
-/// Accumulates drift between the signature at the last (re)characterization
-/// and the current one.
+/// Tunables of the two drift detectors.
+struct PhaseMonitorOptions {
+  /// Accumulated relative pattern change (0..1 scale per component) that
+  /// triggers re-characterization.
+  double pattern_threshold = 0.25;
+  /// EWMA smoothing factor for per-invocation execution times (weight of
+  /// the newest sample).
+  double time_alpha = 0.4;
+  /// EWMA-vs-baseline ratio (either direction) counted as a drifting
+  /// observation.
+  double time_drift_ratio = 2.0;
+  /// Consecutive drifting observations before the time detector fires.
+  int time_drift_patience = 3;
+  /// Observations averaged into the baseline after a rebase before the
+  /// detector starts judging (ignored when the baseline is seeded from
+  /// cached phase history).
+  int time_warmup = 3;
+  /// Absolute |EWMA - baseline| floor below which observations never count
+  /// as drifting: sub-floor regions are dominated by dispatch and timer
+  /// noise, and pattern drift still covers them.
+  double time_noise_floor_s = 100e-6;
+
+  /// Invocations a freshly (re)based site needs before the time detector
+  /// can possibly fire — "the first monitored window".
+  [[nodiscard]] int window() const { return time_warmup + time_drift_patience; }
+};
+
+/// Accumulates drift between the state at the last (re)characterization
+/// and the current invocation, in both pattern and time.
 class PhaseMonitor {
  public:
-  /// `threshold`: accumulated relative change (0..1 scale per component)
-  /// that triggers re-characterization.
-  explicit PhaseMonitor(double threshold = 0.25) : threshold_(threshold) {}
+  explicit PhaseMonitor(PhaseMonitorOptions opt = {}) : opt_(opt) {}
+  /// Pattern-threshold-only convenience (time detector keeps defaults).
+  explicit PhaseMonitor(double pattern_threshold)
+      : PhaseMonitor(PhaseMonitorOptions{.pattern_threshold =
+                                             pattern_threshold}) {}
 
-  /// Rebase on a freshly characterized pattern.
+  /// Rebase on a freshly characterized pattern; resets both detectors.
   void rebase(const PatternSignature& sig) {
     base_ = sig;
     last_ = sig;
     have_base_ = true;
     accumulated_ = 0.0;
+    reset_time();
+  }
+
+  /// Reset only the time detector (used on a scheme switch: the old
+  /// scheme's baseline says nothing about the new scheme's times).
+  void reset_time() {
+    time_baseline_ = 0.0;
+    time_ewma_ = 0.0;
+    time_samples_ = 0;
+    time_streak_ = 0;
+    time_seeded_ = false;
+  }
+
+  /// Arm the time detector with a baseline from persisted phase history
+  /// (median of the cached per-invocation times). No warmup is taken:
+  /// fresh measurements are judged against the history immediately, so a
+  /// contradicted warm start re-characterizes within the first window.
+  void seed_time_baseline(double seconds) {
+    reset_time();
+    if (seconds <= 0.0) return;
+    time_baseline_ = seconds;
+    time_ewma_ = seconds;
+    time_seeded_ = true;
   }
 
   /// Observe the pattern of the next invocation; returns true when the
   /// accumulated drift demands re-characterization.
   bool observe(const PatternSignature& sig);
 
+  /// Observe the measured execution time of the invocation that just ran;
+  /// returns true when the EWMA has drifted from the baseline by more than
+  /// `time_drift_ratio` (and `time_noise_floor_s`) for
+  /// `time_drift_patience` consecutive observations.
+  bool observe_time(double seconds);
+
   [[nodiscard]] double accumulated() const { return accumulated_; }
-  [[nodiscard]] double threshold() const { return threshold_; }
+  [[nodiscard]] double threshold() const { return opt_.pattern_threshold; }
   [[nodiscard]] bool has_base() const { return have_base_; }
   /// Signature at the last rebase (the characterized pattern).
   [[nodiscard]] const PatternSignature& base() const { return base_; }
   /// Signature of the most recently observed invocation.
   [[nodiscard]] const PatternSignature& last() const { return last_; }
 
+  /// Per-invocation time baseline the EWMA is judged against (0 until the
+  /// warmup completes or a seed arrives).
+  [[nodiscard]] double time_baseline() const { return time_baseline_; }
+  [[nodiscard]] double time_ewma() const { return time_ewma_; }
+  /// Consecutive drifting observations so far.
+  [[nodiscard]] int time_streak() const { return time_streak_; }
+  /// True when the baseline came from persisted phase history.
+  [[nodiscard]] bool time_seeded() const { return time_seeded_; }
+  [[nodiscard]] const PhaseMonitorOptions& options() const { return opt_; }
+
  private:
-  double threshold_;
+  PhaseMonitorOptions opt_;
   double accumulated_ = 0.0;
   PatternSignature base_{};
   PatternSignature last_{};
   bool have_base_ = false;
+
+  double time_baseline_ = 0.0;
+  double time_ewma_ = 0.0;
+  int time_samples_ = 0;
+  int time_streak_ = 0;
+  bool time_seeded_ = false;
 };
 
 }  // namespace sapp

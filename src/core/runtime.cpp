@@ -134,8 +134,10 @@ std::string Runtime::report() const {
     }
     os << to_string(r.current()) << " after " << r.invocations()
        << " invocation(s), " << r.recharacterizations()
-       << " characterization(s), " << r.scheme_switches() << " switch(es)"
-       << (r.warm_started() ? ", warm-started" : "") << "\n    "
+       << " characterization(s), " << r.scheme_switches() << " switch(es)";
+    if (r.time_drift_demotions() > 0)
+      os << ", " << r.time_drift_demotions() << " time-drift demotion(s)";
+    os << (r.warm_started() ? ", warm-started" : "") << "\n    "
        << r.decision().rationale << "\n";
   });
   return os.str();
@@ -156,6 +158,10 @@ DecisionCache Runtime::snapshot_decisions() const {
     // keeps the mispredict feedback loop armed (0 when unknown).
     for (const auto& cp : r.decision().predictions)
       if (cp.scheme == r.current()) d.predicted_total_s = cp.total();
+    // Measured phase times under the current scheme (bounded ring): the
+    // warm-started next run seeds its time-drift baseline from these, so
+    // the feedback loop survives the restart armed with evidence.
+    d.phase_times_s = r.phase_history();
     // Cumulative across warm restarts — a warm-started run inherits the
     // cache's evidence instead of resetting it to this run's count, and
     // the rationale stays the original decider justification.

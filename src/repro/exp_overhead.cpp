@@ -25,12 +25,15 @@ namespace sapp::repro {
 
 namespace {
 
-/// The seed repository's ThreadPool, verbatim in behaviour: `nthreads`
-/// detached-from-caller workers, one mutex + two condition variables per
-/// region, dispatch through `const std::function&` (so every `run(lambda)`
-/// call site allocates a std::function), and a caller that blocks idle —
-/// oversubscribing the machine by one thread. Kept here purely as the
-/// measured baseline.
+/// DEPRECATED measured baseline — latency rows only. The seed repository's
+/// ThreadPool, verbatim in behaviour: `nthreads` detached-from-caller
+/// workers, one mutex + two condition variables per region, dispatch
+/// through `const std::function&` (so every `run(lambda)` call site
+/// allocates a std::function), and a caller that blocks idle —
+/// oversubscribing the machine by one thread. Per the ROADMAP trim, it is
+/// measured only in the `fork_join_latency` table (the throughput sweep
+/// converged with the new pool once regions grow memory-bound, so those
+/// rows carried no information); do not grow new uses of this class.
 class LegacyCondvarPool {
  public:
   explicit LegacyCondvarPool(unsigned nthreads) : nthreads_(nthreads) {
@@ -153,18 +156,19 @@ ExperimentResult run_overhead(RunContext& ctx) {
   res.tables.push_back(std::move(lat));
 
   // --- parallel_for throughput vs region size -------------------------
+  // Current pool only: the legacy baseline is deprecated and kept for the
+  // latency rows above (its throughput rows converged with the new pool
+  // as regions grow memory-bound — no information, pure maintenance).
   const std::size_t max_n = ctx.tiny() ? (1u << 14) : (1u << 21);
   std::vector<double> y(max_n, 1.0), x(max_n, 0.5);
   ResultTable tp("parallel_for_throughput",
-                 {"Elements", "ns/region (new)", "ns/region (legacy)",
-                  "Melem/s (new)", "Melem/s (legacy)"});
+                 {"Elements", "ns/region", "Melem/s"});
   for (std::size_t n = 1u << 10; n <= max_n; n <<= 2) {
     const int r = static_cast<int>(
         std::max<std::size_t>(4, (ctx.tiny() ? 1u << 16 : 1u << 22) / n));
     const double nn = daxpy_region_ns(ctx, pool, y, x, n, r);
-    const double nl = daxpy_region_ns(ctx, legacy, y, x, n, r);
-    tp.add_row({static_cast<double>(n), round_to(nn, 1), round_to(nl, 1),
-                round_to(n / nn * 1e3, 1), round_to(n / nl * 1e3, 1)});
+    tp.add_row({static_cast<double>(n), round_to(nn, 1),
+                round_to(n / nn * 1e3, 1)});
   }
   res.tables.push_back(std::move(tp));
 
@@ -200,9 +204,10 @@ ExperimentResult run_overhead(RunContext& ctx) {
   res.note("The legacy pool is the seed implementation kept verbatim "
            "(mutex+condvar handshake, std::function per region, "
            "non-participating caller) so the comparison is re-measured on "
-           "every host rather than claimed from old logs.");
-  res.note("parallel_for rows show where dispatch cost is amortized: the "
-           "two pools converge as the region grows memory-bound.");
+           "every host rather than claimed from old logs. It is deprecated "
+           "and measured in the latency rows only.");
+  res.note("parallel_for rows show where dispatch cost is amortized as "
+           "the region grows memory-bound (current pool only).");
   return res;
 }
 

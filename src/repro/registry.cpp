@@ -38,6 +38,7 @@ ExperimentRegistry& builtin_experiments() {
     register_speculation_experiments(*r);
     register_overhead_experiments(*r);
     register_runtime_experiments(*r);
+    register_phase_drift_experiments(*r);
     return r;
   }();
   return *registry;

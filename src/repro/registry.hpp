@@ -64,5 +64,6 @@ void register_simulation_experiments(ExperimentRegistry& r);
 void register_speculation_experiments(ExperimentRegistry& r);
 void register_overhead_experiments(ExperimentRegistry& r);
 void register_runtime_experiments(ExperimentRegistry& r);
+void register_phase_drift_experiments(ExperimentRegistry& r);
 
 }  // namespace sapp::repro

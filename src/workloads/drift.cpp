@@ -1,0 +1,99 @@
+// Drifting-input workload — IRREG with a mid-run connectivity reshuffle.
+//
+// The paper's §4 "dynamic applications" re-characterize when the access
+// pattern shifts between program phases. This generator builds the two
+// phases of such a shift for one loop site (same array dimension, same
+// loop_id — only the *pattern* moves):
+//
+//   * `dense`  — the familiar IRREG relaxation phase: a mesh whose active
+//     nodes cover most of the reduction array and whose edge list sweeps
+//     many times per invocation, so reuse is high and a replicated-array
+//     scheme (`rep`) amortizes its O(dim) init/merge;
+//   * `sparse` — the post-reshuffle phase: the solver has re-meshed onto a
+//     tiny active region, so each invocation scatters a few references
+//     into a handful of nodes of the same big array. `rep` now pays its
+//     O(dim) init/merge for almost no useful work; compact schemes
+//     (`sel`/`hash`) win by orders of magnitude.
+//
+// `sapp_repro phase_drift` feeds `dense`×k then `sparse`×k through one
+// site and compares the phase-aware runtime (demotes + re-characterizes
+// on drift) with a frozen-decision baseline.
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "workloads/workload.hpp"
+
+namespace sapp::workloads {
+
+namespace {
+
+/// Random edge list over `nodes` node→element slots, `edges` iterations,
+/// MO=2 like the mesh phase, sorted by lower endpoint (mesh renumbering).
+ReductionInput scatter_phase(std::size_t dim,
+                             const std::vector<std::uint32_t>& node_elem,
+                             std::size_t edges, Rng& rng) {
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> list;
+  list.reserve(edges);
+  const std::size_t n = node_elem.size();
+  for (std::size_t k = 0; k < edges; ++k) {
+    const std::uint32_t u = node_elem[rng.below(n)];
+    const std::uint32_t v = node_elem[rng.below(n)];
+    list.emplace_back(std::min(u, v), std::max(u, v));
+  }
+  std::sort(list.begin(), list.end());
+
+  std::vector<std::uint64_t> row_ptr{0};
+  std::vector<std::uint32_t> idx;
+  row_ptr.reserve(edges + 1);
+  idx.reserve(2 * edges);
+  for (const auto& [u, v] : list) {
+    idx.push_back(u);
+    idx.push_back(v);
+    row_ptr.push_back(idx.size());
+  }
+
+  ReductionInput in;
+  in.pattern.dim = dim;
+  in.pattern.refs = Csr(std::move(row_ptr), std::move(idx));
+  in.pattern.body_flops = 8;  // same flux evaluation as the mesh phase
+  in.pattern.iteration_replication_legal = true;
+  in.values.resize(in.pattern.num_refs());
+  for (auto& x : in.values) x = rng.uniform(-1.0, 1.0);
+  return in;
+}
+
+}  // namespace
+
+DriftPhases make_irreg_reshuffle(std::size_t dim, std::size_t dense_edges,
+                                 std::size_t sparse_edges,
+                                 std::uint64_t seed) {
+  SAPP_REQUIRE(dim >= 4096, "bad irreg-reshuffle sizing");
+
+  // Phase 1: the standard IRREG mesh covering ~60% of the array, swept
+  // until `dense_edges` iterations — size the edge budget so refs per
+  // invocation dwarf the array (reuse: rep territory).
+  DriftPhases d;
+  d.dense = make_irreg(dim, (dim * 3) / 5, dense_edges, seed);
+  d.dense.loop = "do100-reshuffle";
+  d.dense.variant = "phase=dense dim=" + std::to_string(d.dense.input.pattern.dim);
+  tag_site(d.dense);
+
+  // Phase 2: the reshuffled connectivity — the same array, but the active
+  // region collapsed to a scattered handful of nodes.
+  Rng rng(seed * 0x9E3779B97F4A7C15ull + 1);
+  const std::size_t nodes_b = std::max<std::size_t>(64, dim / 256);
+  std::vector<std::uint32_t> node_elem(nodes_b);
+  for (auto& e : node_elem)
+    e = static_cast<std::uint32_t>(rng.below(dim));
+
+  d.sparse.app = d.dense.app;
+  d.sparse.loop = d.dense.loop;
+  d.sparse.variant = "phase=sparse dim=" + std::to_string(dim);
+  d.sparse.input = scatter_phase(dim, node_elem, sparse_edges, rng);
+  d.sparse.instr_per_iter = d.dense.instr_per_iter;
+  d.sparse.paper = d.dense.paper;
+  tag_site(d.sparse);
+  return d;
+}
+
+}  // namespace sapp::workloads

@@ -105,6 +105,26 @@ struct SynthParams {
 [[nodiscard]] Workload make_spice(std::size_t dim, std::size_t devices,
                                   std::uint64_t seed);
 
+// ---- Drifting inputs (phase-aware runtime, §4 dynamic applications) ----
+
+/// The two phases of a mid-run connectivity reshuffle on one loop site
+/// (same dim, same loop_id — only the pattern moves between them).
+struct DriftPhases {
+  Workload dense;   ///< pre-reshuffle: mesh covering most of the array
+  Workload sparse;  ///< post-reshuffle: scatter into a tiny active region
+};
+
+/// IRREG whose mesh is reshuffled mid-run: `dense` sweeps `dense_edges`
+/// mesh edges over ~60% of the array per invocation (reuse — rep
+/// territory); `sparse` scatters `sparse_edges` edges into ~dim/256 nodes
+/// of the same array (sel/hash territory). Feeding dense×k then sparse×k
+/// through one site is the drift the phase-aware runtime must catch —
+/// see `sapp_repro phase_drift`.
+[[nodiscard]] DriftPhases make_irreg_reshuffle(std::size_t dim,
+                                               std::size_t dense_edges,
+                                               std::size_t sparse_edges,
+                                               std::uint64_t seed);
+
 // ---- Application generators (hardware study, Table 2) ------------------
 
 /// EULER dflux do100 (HPF-2): flux accumulation over unstructured-mesh

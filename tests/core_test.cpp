@@ -370,8 +370,12 @@ RuntimeOptions uncalibrated(unsigned threads) {
   // Park the mispredict feedback loop: with uncalibrated coefficients a
   // loaded CI host overruns every prediction, and these tests pin the
   // site/cache bookkeeping, not adaptation (the poisoned-cache test
-  // re-arms it explicitly).
+  // re-arms it explicitly). The time-drift detector is parked for the
+  // same reason — noisy CI timing must not inject re-characterizations
+  // into counter assertions (tests/phase_drift_test.cpp covers it with
+  // synthetic times).
   o.adaptive.mispredict_patience = 1 << 30;
+  o.adaptive.monitor.time_drift_patience = 1 << 30;
   return o;
 }
 

@@ -137,6 +137,7 @@ TEST(ExperimentRegistry, BuiltinExperimentsAreStable) {
       "ablation_linesize",       "ablation_placement",
       "ablation_flex_occupancy", "spec_rlrpd",
       "overhead",                "adaptive_sites",
+      "phase_drift",
   };
   const auto& reg = builtin_experiments();
   ASSERT_GE(reg.size(), 9u);

@@ -39,8 +39,9 @@ RuntimeOptions quiet_options() {
   // not adaptation. Under TSan/ASan every measurement overruns the
   // uncalibrated predictions, which would trigger scheme switches and
   // mispredict-driven re-characterizations and make the counters flaky —
-  // so park the feedback loop.
+  // so park the feedback loop — the time-drift detector included.
   o.adaptive.mispredict_patience = 1 << 30;
+  o.adaptive.monitor.time_drift_patience = 1 << 30;
   return o;
 }
 

@@ -1,14 +1,23 @@
 #!/usr/bin/env python3
-"""Markdown link checker for README.md and docs/.
+"""Markdown link and experiment-coverage checker for README.md and docs/.
 
-Verifies that every relative link and image target in the repo's markdown
-documentation resolves to an existing file or directory, so refactors
-cannot silently break doc cross-references. External (http/https/mailto)
-links and pure intra-file anchors (#...) are skipped; anchors on relative
-links are stripped before the existence check.
+Two checks, both standard-library only:
 
-Standard library only. Exit code: 0 = all links resolve, 1 = broken links
-(each printed as file:line: target).
+1. Every relative link and image target in the repo's markdown
+   documentation resolves to an existing file or directory, so refactors
+   cannot silently break doc cross-references. External
+   (http/https/mailto) links and pure intra-file anchors (#...) are
+   skipped; anchors on relative links are stripped before the existence
+   check.
+
+2. Every `sapp_repro` experiment registered in src/repro/ (the
+   `r.add({.name = "..."` sites reached from registry.cpp) is mentioned
+   in docs/reproducing.md and has committed reference results
+   (<name>.md + <name>.json) under docs/results/linux-x86_64/ — a new
+   experiment cannot land undocumented or without reference numbers.
+
+Exit code: 0 = everything resolves, 1 = problems (each printed as
+file:line: target or as a coverage message).
 """
 from __future__ import annotations
 
@@ -67,6 +76,52 @@ def check_file(md: Path, root: Path) -> list[str]:
     return errors
 
 
+# Experiment registrations: `.name = "fig3_adaptive_table"` inside an
+# `r.add({...})` in the exp_*.cpp / registry sources.
+EXPERIMENT_NAME = re.compile(r"\.name\s*=\s*\"([A-Za-z0-9_]+)\"")
+REFERENCE_RESULTS_DIR = "results/linux-x86_64"
+
+
+def registered_experiments(root: Path) -> list[tuple[str, str]]:
+    """(name, source-file) for every experiment registered in src/repro/."""
+    found: list[tuple[str, str]] = []
+    for src in sorted((root / "src" / "repro").glob("*.cpp")):
+        for m in EXPERIMENT_NAME.finditer(src.read_text(encoding="utf-8")):
+            found.append((m.group(1), str(src.relative_to(root))))
+    return found
+
+
+def check_experiment_coverage(
+    root: Path, experiments: list[tuple[str, str]]
+) -> list[str]:
+    errors: list[str] = []
+    if not experiments:
+        return ["no registered experiments found under src/repro/ "
+                "(registration idiom changed? update check_docs_links.py)"]
+    reproducing = root / "docs" / "reproducing.md"
+    reproducing_text = (
+        reproducing.read_text(encoding="utf-8") if reproducing.exists() else ""
+    )
+    results = root / "docs" / REFERENCE_RESULTS_DIR
+    for name, src in experiments:
+        # A bare substring would pass vacuously for common-word names
+        # ("overhead" appears all over the prose): require the runnable
+        # form `sapp_repro <name>` or the backticked literal.
+        if (f"sapp_repro {name}" not in reproducing_text
+                and f"`{name}`" not in reproducing_text):
+            errors.append(
+                f"{src}: experiment '{name}' is not documented in "
+                f"docs/reproducing.md (need `sapp_repro {name}`)"
+            )
+        for ext in ("md", "json"):
+            if not (results / f"{name}.{ext}").exists():
+                errors.append(
+                    f"{src}: experiment '{name}' has no committed reference "
+                    f"result docs/{REFERENCE_RESULTS_DIR}/{name}.{ext}"
+                )
+    return errors
+
+
 def main() -> int:
     root = Path(__file__).resolve().parent.parent
     errors: list[str] = []
@@ -77,12 +132,17 @@ def main() -> int:
             continue
         checked += 1
         errors.extend(check_file(md, root))
+    experiments = registered_experiments(root)
+    errors.extend(check_experiment_coverage(root, experiments))
     if errors:
-        print(f"{len(errors)} broken doc link(s) across {checked} file(s):")
+        print(f"{len(errors)} problem(s) across {checked} markdown file(s) "
+              f"and {len(experiments)} registered experiment(s):")
         for e in errors:
             print(f"  {e}")
         return 1
-    print(f"OK: all relative links resolve across {checked} markdown file(s)")
+    print(f"OK: all relative links resolve across {checked} markdown file(s); "
+          f"all {len(experiments)} registered experiments are documented in "
+          f"docs/reproducing.md with committed reference results")
     return 0
 
 
