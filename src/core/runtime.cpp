@@ -1,11 +1,23 @@
 #include "core/runtime.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <functional>
 #include <sstream>
-#include <thread>
+#include <utility>
 
 namespace sapp {
+
+namespace {
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
 
 Runtime::Runtime(RuntimeOptions opt) : opt_(std::move(opt)) {
   unsigned n = opt_.threads;
@@ -19,13 +31,52 @@ Runtime::Runtime(RuntimeOptions opt) : opt_(std::move(opt)) {
   else
     coeffs_ = opt_.calibrate ? MachineCoeffs::calibrate(*pool_)
                              : MachineCoeffs::defaults();
+  store_ = std::make_unique<ShardedDecisionStore>(DecisionStoreOptions{
+      .dir = opt_.decision_cache_dir, .shards = opt_.decision_cache_shards});
+  if (store_->persistent()) {
+    // Missing or torn shards are cold shards, never an error.
+    (void)store_->load();
+  }
   if (!opt_.decision_cache_path.empty()) {
     // A missing or corrupt cache is a cold start, never an error.
     (void)load_decisions(opt_.decision_cache_path);
   }
+  if (store_->persistent() || opt_.site_ttl_s > 0.0)
+    maintenance_ = std::thread([this] { maintenance_loop(); });
 }
 
-Runtime::~Runtime() = default;
+Runtime::~Runtime() {
+  stop_maintenance();
+  // Clean shutdown drain: everything learned since the last tick reaches
+  // the shard files before the site table is torn down.
+  (void)flush_decisions();
+}
+
+void Runtime::stop_maintenance() {
+  if (!maintenance_.joinable()) return;
+  {
+    std::scoped_lock lk(maint_mu_);
+    maint_stop_ = true;
+  }
+  maint_cv_.notify_all();
+  maintenance_.join();
+}
+
+void Runtime::maintenance_loop() {
+  double interval_s = std::max(opt_.flush_interval_s, 1e-3);
+  if (opt_.site_ttl_s > 0.0)
+    interval_s = std::min(interval_s, std::max(opt_.site_ttl_s / 2, 1e-3));
+  const auto interval = std::chrono::duration<double>(interval_s);
+  std::unique_lock lk(maint_mu_);
+  while (!maint_stop_) {
+    maint_cv_.wait_for(lk, interval);
+    if (maint_stop_) break;
+    lk.unlock();
+    if (opt_.site_ttl_s > 0.0 || opt_.max_sites > 0) (void)sweep();
+    (void)flush_decisions();
+    lk.lock();
+  }
+}
 
 unsigned Runtime::threads() const { return pool_->size(); }
 
@@ -33,32 +84,66 @@ std::size_t Runtime::stripe_of(std::string_view id) {
   return std::hash<std::string_view>{}(id) % kStripes;
 }
 
-Runtime::Site& Runtime::site_slot(std::string_view id) {
-  Stripe& stripe = stripes_[stripe_of(id)];
+std::shared_ptr<Runtime::Site> Runtime::find_live(std::string_view id) const {
+  const Stripe& stripe = stripes_[stripe_of(id)];
   std::scoped_lock lk(stripe.mu);
-  auto it = stripe.sites.find(id);
-  if (it == stripe.sites.end()) {
-    std::string key(id);
-    auto site = std::make_unique<Site>();
-    site->reducer =
-        std::make_unique<AdaptiveReducer>(*pool_, coeffs_, opt_.adaptive);
-    site->reducer->set_pool_arbiter(&pool_mu_);
-    {
-      std::scoped_lock wl(warm_mu_);
-      if (const CachedDecision* cached = warm_.find(id); cached != nullptr)
-        site->reducer->warm_start(*cached);
-    }
-    it = stripe.sites.emplace(std::move(key), std::move(site)).first;
+  const auto it = stripe.sites.find(id);
+  return it != stripe.sites.end() ? it->second : nullptr;
+}
+
+std::shared_ptr<Runtime::Site> Runtime::site_slot(std::string_view id) {
+  Stripe& stripe = stripes_[stripe_of(id)];
+  {
+    std::scoped_lock lk(stripe.mu);
+    if (const auto it = stripe.sites.find(id); it != stripe.sites.end())
+      return it->second;
   }
-  return *it->second;
+  // Creation path. Make room first (outside the stripe lock — eviction
+  // takes stripe locks itself), so the table never grows past the cap by
+  // more than the creations in flight.
+  if (opt_.max_sites > 0) ensure_capacity();
+  auto site = std::make_shared<Site>();
+  site->reducer =
+      std::make_unique<AdaptiveReducer>(*pool_, coeffs_, opt_.adaptive);
+  site->reducer->set_pool_arbiter(&pool_mu_);
+  site->last_used_ns.store(now_ns(), std::memory_order_relaxed);
+  std::scoped_lock lk(stripe.mu);
+  const auto [it, inserted] =
+      stripe.sites.try_emplace(std::string(id), std::move(site));
+  if (inserted) {
+    // Warm-start from the store only under the stripe lock, after losing
+    // any creation race: eviction needs this same lock to erase a site,
+    // so the entry read here cannot be stale. (Reading it before the
+    // lock would race a whole create→invoke→evict cycle of this site on
+    // another thread and resurrect the pre-cycle snapshot, losing the
+    // cycle's invocations from the lifetime counters.)
+    if (auto cached = store_->get(id); cached.has_value()) {
+      it->second->reducer->warm_start(*std::move(cached));
+      warm_offers_.fetch_add(1, std::memory_order_relaxed);
+    }
+    live_sites_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return it->second;
 }
 
 SchemeResult Runtime::submit(std::string_view site_id,
                              const ReductionInput& in,
                              std::span<double> out) {
-  Site& s = site_slot(site_id);
-  std::scoped_lock lk(s.mu);
-  return s.reducer->invoke(in, out);
+  for (;;) {
+    std::shared_ptr<Site> s = site_slot(site_id);
+    std::scoped_lock lk(s->mu);
+    // The site may have been evicted between the table lookup and the
+    // lock: it still exists (we hold a reference) but no longer receives
+    // persistence or warm-start offers — re-resolve so the invocation
+    // lands in a live site and is counted exactly once.
+    if (s->evicted) continue;
+    s->last_used_ns.store(now_ns(), std::memory_order_relaxed);
+    SchemeResult r = s->reducer->invoke(in, out);
+    // Asynchronous persistence: only note that this site moved on; the
+    // maintenance thread snapshots and flushes off the submit path.
+    store_->mark_dirty(site_id);
+    return r;
+  }
 }
 
 SchemeResult Runtime::submit(const ReductionInput& in,
@@ -73,7 +158,11 @@ SchemeResult Runtime::submit(const ReductionInput& in,
 }
 
 AdaptiveReducer& Runtime::site(std::string_view site_id) {
-  return *site_slot(site_id).reducer;
+  return *site_slot(site_id)->reducer;
+}
+
+bool Runtime::has_live_site(std::string_view site_id) const {
+  return find_live(site_id) != nullptr;
 }
 
 std::size_t Runtime::site_count() const {
@@ -101,30 +190,124 @@ void Runtime::for_each_site(Fn&& fn) const {
     // Resolve the site under the stripe lock, then release it before
     // waiting on the site mutex — otherwise a long in-flight reduction
     // would stall every submission hashing into the same stripe for its
-    // whole duration. Sites are never erased, so the pointer stays valid.
-    Site* site = nullptr;
-    {
-      const Stripe& stripe = stripes_[stripe_of(id)];
-      std::scoped_lock lk(stripe.mu);
-      const auto it = stripe.sites.find(id);
-      if (it != stripe.sites.end()) site = it->second.get();
-    }
+    // whole duration. The shared_ptr keeps a concurrently evicted site
+    // alive; the `evicted` flag (read under the site mutex) tells us to
+    // skip it.
+    const std::shared_ptr<Site> site = find_live(id);
     if (site == nullptr) continue;
-    // The site mutex makes the read safe against a concurrent submit()
-    // mutating the reducer.
     std::scoped_lock site_lk(site->mu);
+    if (site->evicted) continue;
     fn(id, static_cast<const AdaptiveReducer&>(*site->reducer));
   }
 }
+
+CachedDecision Runtime::snapshot_site(const std::string& id,
+                                      const AdaptiveReducer& r) const {
+  CachedDecision d;
+  d.site = id;
+  d.scheme = r.current();
+  d.threads = pool_->size();
+  // The most recently observed signature: what the next run's first
+  // invocation is expected to look like.
+  d.signature = r.monitor().last();
+  // Prediction for the current scheme, so the warm-started next run
+  // keeps the mispredict feedback loop armed (0 when unknown).
+  for (const auto& cp : r.decision().predictions)
+    if (cp.scheme == r.current()) d.predicted_total_s = cp.total();
+  // Measured phase times under the current scheme (bounded ring): the
+  // warm-started next run seeds its time-drift baseline from these, so
+  // the feedback loop survives the restart armed with evidence.
+  d.phase_times_s = r.phase_history();
+  // Cumulative across warm restarts — a warm-started run inherits the
+  // cache's evidence instead of resetting it to this run's count, and
+  // the rationale stays the original decider justification.
+  d.invocations = r.lifetime_invocations();
+  d.rationale = r.decision().rationale;
+  return d;
+}
+
+// ---- eviction --------------------------------------------------------
+
+void Runtime::ensure_capacity() {
+  std::scoped_lock lk(evict_mu_);
+  const std::size_t cap = opt_.max_sites;
+  const std::size_t live = live_sites_.load(std::memory_order_relaxed);
+  if (live < cap) return;
+  // Evict the overflow plus a little slack (1/16th of the cap) so a
+  // churning burst of creations amortizes the table scan instead of
+  // rescanning per creation. Small caps get exact-overflow eviction.
+  (void)evict_locked(live - cap + 1 + cap / 16, /*ttl_cutoff_ns=*/0);
+}
+
+std::size_t Runtime::sweep() {
+  std::scoped_lock lk(evict_mu_);
+  std::uint64_t cutoff = 0;
+  if (opt_.site_ttl_s > 0.0) {
+    const auto ttl_ns =
+        static_cast<std::uint64_t>(opt_.site_ttl_s * 1e9);
+    const std::uint64_t now = now_ns();
+    cutoff = now > ttl_ns ? now - ttl_ns : 0;
+  }
+  const std::size_t live = live_sites_.load(std::memory_order_relaxed);
+  const std::size_t over =
+      opt_.max_sites > 0 && live > opt_.max_sites ? live - opt_.max_sites : 0;
+  if (over == 0 && cutoff == 0) return 0;
+  return evict_locked(over, cutoff);
+}
+
+std::size_t Runtime::evict_locked(std::size_t want,
+                                  std::uint64_t ttl_cutoff_ns) {
+  // One pass over the table: every TTL-expired site goes; beyond that,
+  // the `want` least-recently-used ones. Timestamps are read lock-free —
+  // approximate LRU is all a cap needs.
+  std::vector<std::pair<std::uint64_t, std::string>> by_age;
+  std::size_t evicted = 0;
+  for (const auto& stripe : stripes_) {
+    std::scoped_lock lk(stripe.mu);
+    for (const auto& [id, site] : stripe.sites)
+      by_age.emplace_back(site->last_used_ns.load(std::memory_order_relaxed),
+                          id);
+  }
+  std::sort(by_age.begin(), by_age.end());
+  for (const auto& [used_ns, id] : by_age) {
+    const bool expired = ttl_cutoff_ns > 0 && used_ns < ttl_cutoff_ns;
+    if (!expired && evicted >= want) break;
+    if (evict_site(id)) ++evicted;
+  }
+  return evicted;
+}
+
+bool Runtime::evict_site(const std::string& id) {
+  Stripe& stripe = stripes_[stripe_of(id)];
+  std::scoped_lock lk(stripe.mu);
+  const auto it = stripe.sites.find(id);
+  if (it == stripe.sites.end()) return false;
+  Site& s = *it->second;
+  // A site whose mutex is held is mid-submission — by definition not LRU;
+  // skip it rather than stall the evictor behind a running reduction.
+  std::unique_lock site_lk(s.mu, std::try_to_lock);
+  if (!site_lk.owns_lock()) return false;
+  // Persist what the site learned so a return warm-starts instead of
+  // re-characterizing: eviction bounds memory, not knowledge.
+  if (s.reducer->invocations() > 0) store_->put(snapshot_site(id, *s.reducer));
+  s.evicted = true;
+  site_lk.unlock();
+  stripe.sites.erase(it);
+  live_sites_.fetch_sub(1, std::memory_order_relaxed);
+  evictions_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+// ---- reporting and persistence ---------------------------------------
 
 std::string Runtime::report() const {
   std::ostringstream os;
   os << "sapp::Runtime: " << pool_->size() << " threads, " << site_count()
      << " loop site(s)";
-  {
-    std::scoped_lock wl(warm_mu_);
-    if (!warm_.empty()) os << ", " << warm_.size() << " cached decision(s)";
-  }
+  if (const std::uint64_t ev = evictions_.load(); ev > 0)
+    os << ", " << ev << " eviction(s)";
+  if (const std::size_t cached = store_->size(); cached > 0)
+    os << ", " << cached << " cached decision(s)";
   os << "\n";
   for_each_site([&](const std::string& id, const AdaptiveReducer& r) {
     os << "  site '" << id << "': ";
@@ -147,34 +330,23 @@ DecisionCache Runtime::snapshot_decisions() const {
   DecisionCache cache;
   for_each_site([&](const std::string& id, const AdaptiveReducer& r) {
     if (r.invocations() == 0) return;  // nothing learned yet
-    CachedDecision d;
-    d.site = id;
-    d.scheme = r.current();
-    d.threads = pool_->size();
-    // The most recently observed signature: what the next run's first
-    // invocation is expected to look like.
-    d.signature = r.monitor().last();
-    // Prediction for the current scheme, so the warm-started next run
-    // keeps the mispredict feedback loop armed (0 when unknown).
-    for (const auto& cp : r.decision().predictions)
-      if (cp.scheme == r.current()) d.predicted_total_s = cp.total();
-    // Measured phase times under the current scheme (bounded ring): the
-    // warm-started next run seeds its time-drift baseline from these, so
-    // the feedback loop survives the restart armed with evidence.
-    d.phase_times_s = r.phase_history();
-    // Cumulative across warm restarts — a warm-started run inherits the
-    // cache's evidence instead of resetting it to this run's count, and
-    // the rationale stays the original decider justification.
-    d.invocations = r.lifetime_invocations();
-    d.rationale = r.decision().rationale;
-    cache.put(std::move(d));
+    cache.put(snapshot_site(id, r));
   });
   return cache;
 }
 
+DecisionCache Runtime::persisted_decisions() const { return store_->merged(); }
+
 bool Runtime::save_decisions(const std::string& path,
                              std::string* error) const {
-  return snapshot_decisions().save(path, error);
+  // Store entries (loaded + evicted sites) first, then live sites on top:
+  // a site that is both evicted-stale and live resolves to live state.
+  DecisionCache all = store_->merged();
+  for_each_site([&](const std::string& id, const AdaptiveReducer& r) {
+    if (r.invocations() == 0) return;
+    all.put(snapshot_site(id, r));
+  });
+  return all.save(path, error);
 }
 
 bool Runtime::save_decisions(std::string* error) const {
@@ -188,14 +360,24 @@ bool Runtime::save_decisions(std::string* error) const {
 bool Runtime::load_decisions(const std::string& path, std::string* error) {
   auto loaded = DecisionCache::load(path, error);
   if (!loaded.has_value()) return false;
-  std::scoped_lock lk(warm_mu_);
-  for (const auto& e : loaded->entries()) warm_.put(e);
+  for (const auto& e : loaded->entries()) store_->put(e);
   return true;
 }
 
-std::size_t Runtime::warm_entries() const {
-  std::scoped_lock lk(warm_mu_);
-  return warm_.size();
+std::size_t Runtime::warm_entries() const { return store_->size(); }
+
+std::size_t Runtime::flush_decisions(std::string* error) {
+  if (!store_->persistent()) return 0;
+  const auto snapshotter = [this](const std::string& id,
+                                  CachedDecision& out) {
+    const std::shared_ptr<Site> s = find_live(id);
+    if (s == nullptr) return false;  // evicted: the store copy is final
+    std::scoped_lock lk(s->mu);
+    if (s->evicted || s->reducer->invocations() == 0) return false;
+    out = snapshot_site(id, *s->reducer);
+    return true;
+  };
+  return store_->drain(snapshotter, error);
 }
 
 }  // namespace sapp

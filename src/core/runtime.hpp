@@ -3,12 +3,10 @@
 //
 // One Runtime serves every reduction loop site of an application:
 //
-//     sapp::Runtime rt({.threads = 8, .decision_cache_path = "sapp.cache"});
+//     sapp::Runtime rt({.threads = 8, .decision_cache_dir = "sapp.cache.d"});
 //     // any application thread, concurrently:
 //     rt.submit("Moldyn/ComputeForces", input, forces);
 //     rt.submit(input_with_loop_id, out);   // site id from pattern.loop_id
-//     ...
-//     rt.save_decisions("sapp.cache");      // warm-start the next run
 //
 // Concurrency model:
 //   * the site table is lock-striped: submissions to distinct sites never
@@ -21,22 +19,40 @@
 //     regions are arbitrated onto the one shared ThreadPool (a pool region
 //     must be dispatched by one thread at a time).
 //
-// Persistence: learned decisions (scheme + PatternSignature per site) are
-// saved/loaded as a JSON decision cache (src/core/decision_cache.hpp), so
-// a warm start skips the first-invocation characterization — measured by
-// `sapp_repro adaptive_sites` and gated in CI.
+// Serving-scale bounds (see docs/serving.md):
+//   * `max_sites` caps the live site table with approximate-LRU eviction
+//     (per-site last-used timestamps; a creation past the cap evicts the
+//     coldest sites first); `site_ttl_s` additionally expires idle sites.
+//     An evicted site's learned decision is snapshotted into the decision
+//     store, so a returning site re-registers and warm-starts instead of
+//     re-characterizing — eviction bounds memory, not knowledge.
+//   * persistence is asynchronous: submissions only mark their site dirty
+//     in the sharded decision store (decision_store.hpp); a maintenance
+//     thread snapshots dirty sites and flushes changed shards atomically
+//     (temp file + rename) on an interval, and the destructor drains
+//     cleanly. No file I/O ever runs on the submit path.
+//
+// The legacy single-file workflow (`decision_cache_path` + explicit
+// `save_decisions()`/`load_decisions()`) still works and now also seeds
+// the store; `sapp_repro serving` measures the whole arrangement under
+// sustained multi-threaded churn and CI gates its throughput and p99.
 #pragma once
 
 #include <array>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <vector>
 
 #include "core/adaptive.hpp"
 #include "core/decision_cache.hpp"
+#include "core/decision_store.hpp"
 
 namespace sapp {
 
@@ -45,10 +61,26 @@ struct RuntimeOptions {
   unsigned threads = 0;   ///< 0 = hardware concurrency
   bool calibrate = true;  ///< micro-calibrate MachineCoeffs at startup
   AdaptiveOptions adaptive{};
-  /// Path of the persistent decision cache. When non-empty, the
+  /// Path of the legacy single-file decision cache. When non-empty, the
   /// constructor loads it (silently starting cold if missing/corrupt) and
   /// `save_decisions()` with no argument writes back to it.
   std::string decision_cache_path;
+  /// Directory of the sharded, asynchronously persisted decision store.
+  /// When non-empty, the constructor loads every shard for warm starts
+  /// and a maintenance thread flushes learned decisions back on
+  /// `flush_interval_s` — the serving-scale replacement for the explicit
+  /// single-file save.
+  std::string decision_cache_dir;
+  /// Shard-file count of the decision store (clamped to [1, 256]).
+  std::size_t decision_cache_shards = 16;
+  /// Maintenance-thread period: async flush of dirty decisions plus
+  /// TTL/capacity sweeps.
+  double flush_interval_s = 0.05;
+  /// Cap on live sites (0 = unbounded). A creation past the cap evicts
+  /// the least-recently-used sites after persisting their decisions.
+  std::size_t max_sites = 0;
+  /// Evict sites idle longer than this many seconds (0 = no TTL).
+  double site_ttl_s = 0.0;
   /// Skip calibration and use these coefficients (tests, experiments
   /// wanting identical deciders across Runtime instances).
   const MachineCoeffs* coeffs = nullptr;
@@ -69,8 +101,9 @@ class Runtime {
   [[nodiscard]] unsigned threads() const;
 
   /// Execute one invocation of loop site `site_id`, accumulating into
-  /// `out`. The site is created on first use. Safe to call from any
-  /// number of application threads concurrently.
+  /// `out`. The site is created (or revived from the decision store) on
+  /// first use. Safe to call from any number of application threads
+  /// concurrently, including concurrently with eviction.
   SchemeResult submit(std::string_view site_id, const ReductionInput& in,
                       std::span<double> out);
 
@@ -81,49 +114,98 @@ class Runtime {
   SchemeResult submit(const ReductionInput& in, std::span<double> out);
 
   /// The site's reducer, created on first use. Reading reducer state is
-  /// NOT synchronized against concurrent submit() calls to the same site —
-  /// use from single-threaded phases (startup, reporting, tests).
+  /// NOT synchronized against concurrent submit() or eviction — use from
+  /// single-threaded phases (startup, reporting, tests).
   [[nodiscard]] AdaptiveReducer& site(std::string_view site_id);
 
+  /// Whether `site_id` is currently live (not evicted / never created).
+  [[nodiscard]] bool has_live_site(std::string_view site_id) const;
+
   [[nodiscard]] std::size_t site_count() const;
-  /// All site ids, sorted (stable report/serialization order).
+  /// All live site ids, sorted (stable report/serialization order).
   [[nodiscard]] std::vector<std::string> site_ids() const;
   /// Per-site summary: decisions, re-characterizations, switches.
   [[nodiscard]] std::string report() const;
 
+  // ---- eviction -----------------------------------------------------
+  /// Sites evicted so far (LRU capacity + TTL combined).
+  [[nodiscard]] std::uint64_t evictions() const { return evictions_.load(); }
+  /// Site creations that found a cached decision to offer (initial warm
+  /// loads plus evicted sites re-registering; approximate under racing
+  /// duplicate creations).
+  [[nodiscard]] std::uint64_t warm_offers() const {
+    return warm_offers_.load();
+  }
+  /// Evict TTL-expired sites and trim over-capacity now (also runs on
+  /// every maintenance tick). Returns the number of sites evicted.
+  std::size_t sweep();
+
   // ---- persistent decision cache ------------------------------------
-  /// Snapshot of every site that has settled on a scheme (keyed by site
-  /// id; signature = the most recently observed pattern).
+  /// Snapshot of every live site that has settled on a scheme (keyed by
+  /// site id; signature = the most recently observed pattern).
   [[nodiscard]] DecisionCache snapshot_decisions() const;
-  /// Save the snapshot to `path`. Returns false (with `error`) on I/O
-  /// failure.
+  /// Everything the decision store knows: loaded shards, evicted sites,
+  /// flushed snapshots. Live sites may have advanced past this.
+  [[nodiscard]] DecisionCache persisted_decisions() const;
+  /// Save store + live-site decisions as one legacy single file. Returns
+  /// false (with `error`) on I/O failure.
   bool save_decisions(const std::string& path,
                       std::string* error = nullptr) const;
   /// Save to `RuntimeOptions::decision_cache_path`.
   bool save_decisions(std::string* error = nullptr) const;
-  /// Merge `path` into the warm-start cache consulted when sites are
+  /// Merge `path` into the decision store consulted when sites are
   /// created. Entries for already-created sites do not apply retroactively.
   bool load_decisions(const std::string& path, std::string* error = nullptr);
   /// The decisions currently offered to newly created sites.
   [[nodiscard]] std::size_t warm_entries() const;
+  /// Synchronously flush dirty decisions to the store's shard files (the
+  /// maintenance thread does this on an interval; this forces it now).
+  /// Returns the number of shard files written.
+  std::size_t flush_decisions(std::string* error = nullptr);
+  /// The sharded store (testing/metrics: flush counters, failure hook).
+  [[nodiscard]] ShardedDecisionStore& decision_store() { return *store_; }
 
  private:
   struct Site {
     std::mutex mu;  // serializes submissions to this site
+    /// Set under `mu` by eviction after the site left the table; a
+    /// submitter that raced the eviction re-resolves the site id.
+    bool evicted = false;
+    /// steady_clock nanos of the last submission — read lock-free by the
+    /// LRU/TTL sweeps.
+    std::atomic<std::uint64_t> last_used_ns{0};
     std::unique_ptr<AdaptiveReducer> reducer;
   };
   struct Stripe {
     mutable std::mutex mu;
-    std::map<std::string, std::unique_ptr<Site>, std::less<>> sites;
+    /// shared_ptr so eviction can drop a site from the table while a
+    /// racing submitter still holds a reference (it detects `evicted`
+    /// under the site mutex and retries).
+    std::map<std::string, std::shared_ptr<Site>, std::less<>> sites;
   };
   /// Stripe count: a small power of two; striping only needs to keep
   /// unrelated sites off one cache-hot mutex, not scale to thousands.
   static constexpr std::size_t kStripes = 16;
 
   [[nodiscard]] static std::size_t stripe_of(std::string_view id);
-  Site& site_slot(std::string_view id);
-  /// Visit every site in sorted id order, holding both the stripe lock
-  /// and the site's own mutex — safe against concurrent submit().
+  std::shared_ptr<Site> find_live(std::string_view id) const;
+  std::shared_ptr<Site> site_slot(std::string_view id);
+  /// Build the persistable snapshot of one live site (caller holds its
+  /// mutex and guarantees at least one invocation).
+  [[nodiscard]] CachedDecision snapshot_site(const std::string& id,
+                                             const AdaptiveReducer& r) const;
+  /// Evict up to `want` least-recently-used live sites (plus every
+  /// TTL-expired one when `ttl_cutoff_ns` > 0), persisting their
+  /// decisions into the store. Caller holds evict_mu_.
+  std::size_t evict_locked(std::size_t want, std::uint64_t ttl_cutoff_ns);
+  /// Snapshot-and-erase one site; false when it is gone or mid-submit.
+  bool evict_site(const std::string& id);
+  /// Make room for one more site when `max_sites` is set.
+  void ensure_capacity();
+  void maintenance_loop();
+  void stop_maintenance();
+  /// Visit every live site in sorted id order, holding the site's own
+  /// mutex — safe against concurrent submit().
   template <typename Fn>  // Fn(const std::string&, const AdaptiveReducer&)
   void for_each_site(Fn&& fn) const;
 
@@ -133,10 +215,20 @@ class Runtime {
   /// Arbitrates Scheme::execute regions on the shared pool across sites.
   std::mutex pool_mu_;
   std::array<Stripe, kStripes> stripes_;
-  /// Warm-start cache (loaded entries); guarded by warm_mu_ because
-  /// load_decisions may race with site creation.
-  mutable std::mutex warm_mu_;
-  DecisionCache warm_;
+  /// Live-site count maintained next to the stripe maps (an atomic so
+  /// capacity checks never take every stripe lock).
+  std::atomic<std::size_t> live_sites_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+  std::atomic<std::uint64_t> warm_offers_{0};
+  /// Serializes evictors (capacity + TTL sweeps scan the whole table).
+  std::mutex evict_mu_;
+  /// Warm-start + persistence engine (always constructed; file-backed
+  /// only when decision_cache_dir is set).
+  std::unique_ptr<ShardedDecisionStore> store_;
+  std::mutex maint_mu_;
+  std::condition_variable maint_cv_;
+  bool maint_stop_ = false;
+  std::thread maintenance_;
 };
 
 /// The original single-site-table facade (Fig. 1 / Fig. 2): the shape of

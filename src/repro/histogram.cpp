@@ -1,0 +1,59 @@
+#include "repro/histogram.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace sapp::repro {
+
+std::size_t LatencyHistogram::bucket_of(double seconds) {
+  const double ns = seconds * 1e9;
+  if (!(ns >= 1.0)) return 0;  // sub-nanosecond, zero, negative, NaN
+  const auto v = static_cast<std::uint64_t>(ns);
+  const auto octave = static_cast<std::size_t>(std::bit_width(v) - 1);
+  if (octave >= kOctaves) return kBuckets - 1;
+  // Low 3 bits below the leading bit pick the linear sub-bucket.
+  const std::size_t sub =
+      octave >= 3 ? static_cast<std::size_t>((v >> (octave - 3)) & 7)
+                  : static_cast<std::size_t>((v << (3 - octave)) & 7);
+  return octave * kSub + sub;
+}
+
+double LatencyHistogram::bucket_value(std::size_t bucket) {
+  const std::size_t octave = bucket / kSub;
+  const std::size_t sub = bucket % kSub;
+  // Bucket spans [lo, lo + lo/8) ns where lo = 2^octave * (1 + sub/8);
+  // report the midpoint.
+  const double lo = std::ldexp(1.0 + static_cast<double>(sub) / kSub,
+                               static_cast<int>(octave));
+  return (lo + lo / (2.0 * kSub)) * 1e-9;
+}
+
+void LatencyHistogram::record(double seconds) {
+  ++buckets_[bucket_of(seconds)];
+  ++count_;
+  sum_s_ += seconds > 0.0 ? seconds : 0.0;
+  max_s_ = std::max(max_s_, seconds);
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  for (std::size_t b = 0; b < kBuckets; ++b) buckets_[b] += other.buckets_[b];
+  count_ += other.count_;
+  sum_s_ += other.sum_s_;
+  max_s_ = std::max(max_s_, other.max_s_);
+}
+
+double LatencyHistogram::quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  const double clamped = std::clamp(q, 0.0, 1.0);
+  const auto rank = static_cast<std::uint64_t>(
+      std::ceil(clamped * static_cast<double>(count_)));
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    seen += buckets_[b];
+    if (seen >= rank && buckets_[b] > 0) return bucket_value(b);
+  }
+  return bucket_value(kBuckets - 1);
+}
+
+}  // namespace sapp::repro

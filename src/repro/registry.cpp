@@ -39,6 +39,7 @@ ExperimentRegistry& builtin_experiments() {
     register_overhead_experiments(*r);
     register_runtime_experiments(*r);
     register_phase_drift_experiments(*r);
+    register_serving_experiments(*r);
     return r;
   }();
   return *registry;

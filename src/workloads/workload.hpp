@@ -125,6 +125,19 @@ struct DriftPhases {
                                                std::size_t sparse_edges,
                                                std::uint64_t seed);
 
+// ---- Serving mix (serving-scale stress harness) ------------------------
+
+/// One site of the serving-mix population: a randomized instantiation of
+/// the synthetic engine whose shape (dim, iterations, refs/iter, skew,
+/// locality, body flops, lw legality) is drawn deterministically from
+/// (seed, index), so the same (seed, index) always regenerates the same
+/// site. Sites span the regimes of every scheme — dense sweeps, sparse
+/// scatters, skewed histograms — and are tagged "serve/s<index>".
+/// `scale` multiplies the iteration count (request cost), not the
+/// population shape. See `sapp_repro serving` / docs/serving.md.
+[[nodiscard]] Workload make_serving_site(std::size_t index, double scale,
+                                         std::uint64_t seed);
+
 // ---- Application generators (hardware study, Table 2) ------------------
 
 /// EULER dflux do100 (HPF-2): flux accumulation over unstructured-mesh

@@ -9,7 +9,9 @@
 // arbitration are race-checked, not just assumed.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <barrier>
+#include <chrono>
 #include <cstdlib>
 #include <string>
 #include <thread>
@@ -286,6 +288,92 @@ TEST(RuntimeConcurrency, ConcurrentWarmStartsAdoptCachedDecisions) {
     EXPECT_EQ(r.recharacterizations(), 0u) << in.pattern.loop_id;
   }
   std::remove(path.c_str());
+}
+
+TEST(RuntimeConcurrency, SiteChurnStressStaysBoundedAndExactlyOnce) {
+  // Serving-shaped churn: many more sites than the table may hold, so
+  // registration, submission and LRU eviction race continuously (plus an
+  // explicit sweeper thread). Two properties must survive, race-checked
+  // under TSan: the live table stays bounded, and every submission
+  // executes exactly once — each output matches its sequential reference,
+  // and the lifetime-invocation counters, summed per site across live
+  // state and evicted-site store snapshots, add up to the request count
+  // (eviction persists a site's counter and a warm restart resumes it, so
+  // churn can neither lose nor duplicate evidence).
+  constexpr std::size_t kSites = 96;
+  constexpr std::size_t kCap = 12;
+  constexpr int kThreads = 6;
+  constexpr int kRequests = 250;  // per thread
+
+  std::vector<ReductionInput> inputs;
+  std::vector<std::vector<double>> refs;
+  for (std::size_t s = 0; s < kSites; ++s) {
+    workloads::SynthParams p;
+    p.dim = 80 + 8 * (s % 24);  // small: TSan runs every access
+    p.distinct = p.dim / 2;
+    p.iterations = 160;
+    p.refs_per_iter = 2;
+    p.seed = 5000 + s;
+    inputs.push_back(workloads::make_synthetic(p));
+    inputs.back().pattern.loop_id = "churn/site" + std::to_string(s);
+    refs.emplace_back(p.dim, 0.0);
+    run_sequential(inputs.back(), refs.back());
+  }
+
+  RuntimeOptions o = quiet_options();
+  o.max_sites = kCap;
+  Runtime rt(o);
+
+  std::atomic<bool> done{false};
+  std::thread sweeper([&] {
+    while (!done.load(std::memory_order_relaxed)) {
+      (void)rt.sweep();
+      EXPECT_LE(rt.site_count(), kCap + kThreads)
+          << "table must stay bounded while churn is in flight";
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+
+  std::barrier start(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      // Deterministic per-thread site walk covering the whole population.
+      std::size_t idx = static_cast<std::size_t>(t) * 17 % kSites;
+      std::vector<double> out;
+      start.arrive_and_wait();
+      for (int k = 0; k < kRequests; ++k) {
+        const ReductionInput& in = inputs[idx];
+        out.assign(in.pattern.dim, 0.0);
+        (void)rt.submit(in, out);
+        expect_matches_reference(out, refs[idx], "churn");
+        idx = (idx + 7) % kSites;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  done.store(true);
+  sweeper.join();
+
+  // Quiesced: one sweep trims any transient overshoot back under the cap.
+  (void)rt.sweep();
+  EXPECT_LE(rt.site_count(), kCap);
+  EXPECT_GT(rt.evictions(), 0u);
+
+  // Exactly-once conservation across live sites and evicted snapshots
+  // (live wins: a warm-started site's lifetime already includes the
+  // store's count as its base).
+  const DecisionCache persisted = rt.persisted_decisions();
+  std::uint64_t total = 0;
+  for (std::size_t s = 0; s < kSites; ++s) {
+    const std::string id = "churn/site" + std::to_string(s);
+    if (rt.has_live_site(id)) {
+      total += rt.site(id).lifetime_invocations();
+    } else if (const CachedDecision* d = persisted.find(id)) {
+      total += d->invocations;
+    }
+  }
+  EXPECT_EQ(total, static_cast<std::uint64_t>(kThreads) * kRequests);
 }
 
 }  // namespace

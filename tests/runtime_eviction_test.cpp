@@ -1,0 +1,180 @@
+// LRU/TTL eviction contract of the bounded runtime site table.
+//
+// `max_sites` caps the live table: a creation past the cap evicts the
+// least-recently-used sites (their decisions persisted into the store);
+// `site_ttl_s` expires idle sites on sweep(). The end-to-end property —
+// the reason eviction is safe at all — is that an evicted site which
+// returns warm-starts from its persisted decision: correct results, no
+// re-characterization, knowledge bounded only by the store, not the
+// table.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/runtime.hpp"
+#include "workloads/workload.hpp"
+
+namespace sapp {
+namespace {
+
+RuntimeOptions quiet_options() {
+  RuntimeOptions o;
+  o.threads = 2;
+  o.calibrate = false;
+  // Pin eviction semantics, not adaptation: park the feedback loop so
+  // uncalibrated predictions cannot trigger switches mid-test.
+  o.adaptive.mispredict_patience = 1 << 30;
+  o.adaptive.monitor.time_drift_patience = 1 << 30;
+  return o;
+}
+
+ReductionInput site_input(int variant) {
+  workloads::SynthParams p;
+  p.dim = 300 + 40 * static_cast<std::size_t>(variant);
+  p.distinct = p.dim / 2;
+  p.iterations = 500;
+  p.refs_per_iter = 2;
+  p.seed = 7100 + static_cast<std::uint64_t>(variant);
+  auto in = workloads::make_synthetic(p);
+  in.pattern.loop_id = "evict/site" + std::to_string(variant);
+  return in;
+}
+
+TEST(RuntimeEviction, LeastRecentlyUsedSiteGoesFirst) {
+  RuntimeOptions o = quiet_options();
+  o.max_sites = 3;
+  Runtime rt(o);
+  std::vector<ReductionInput> in;
+  std::vector<std::vector<double>> out;
+  for (int v = 0; v < 4; ++v) {
+    in.push_back(site_input(v));
+    out.emplace_back(in.back().pattern.dim, 0.0);
+  }
+  // Recency order oldest-first after this: site0, site1, site2.
+  for (int v = 0; v < 3; ++v) (void)rt.submit(in[v], out[v]);
+  // Touch site0 so site1 becomes the LRU victim.
+  (void)rt.submit(in[0], out[0]);
+  EXPECT_EQ(rt.site_count(), 3u);
+  EXPECT_EQ(rt.evictions(), 0u);
+
+  // Creating site3 must evict — and evict site1 specifically.
+  (void)rt.submit(in[3], out[3]);
+  EXPECT_LE(rt.site_count(), 3u);
+  EXPECT_GE(rt.evictions(), 1u);
+  EXPECT_FALSE(rt.has_live_site("evict/site1"));
+  EXPECT_TRUE(rt.has_live_site("evict/site0"));
+  EXPECT_TRUE(rt.has_live_site("evict/site3"));
+  // The victim's decision moved into the store, not into the void.
+  EXPECT_TRUE(rt.persisted_decisions().find("evict/site1") != nullptr);
+}
+
+TEST(RuntimeEviction, TtlExpiresIdleSitesButNotActiveOnes) {
+  // A TTL starts the maintenance thread (ticking at ttl/2), so expiry
+  // needs no explicit sweep() — an idle site disappears on its own while
+  // a site that keeps submitting never does.
+  RuntimeOptions o = quiet_options();
+  o.site_ttl_s = 0.05;
+  Runtime rt(o);
+  auto a = site_input(0);
+  auto b = site_input(1);
+  std::vector<double> out_a(a.pattern.dim, 0.0);
+  std::vector<double> out_b(b.pattern.dim, 0.0);
+  (void)rt.submit(a, out_a);
+  (void)rt.submit(b, out_b);
+  EXPECT_EQ(rt.site_count(), 2u);
+  EXPECT_EQ(rt.sweep(), 0u) << "fresh sites are inside the TTL";
+
+  // Site a goes idle past the TTL; site b stays hot (touched every 10ms,
+  // well inside the 50ms TTL).
+  for (int k = 0; k < 10; ++k) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    std::fill(out_b.begin(), out_b.end(), 0.0);
+    (void)rt.submit(b, out_b);
+  }
+  (void)rt.sweep();  // deterministic even if the maintenance tick just ran
+  EXPECT_FALSE(rt.has_live_site("evict/site0"));
+  EXPECT_TRUE(rt.has_live_site("evict/site1"));
+  EXPECT_EQ(rt.evictions(), 1u);
+  // Expiry persisted the idle site's decision for a later warm return.
+  EXPECT_TRUE(rt.persisted_decisions().find("evict/site0") != nullptr);
+}
+
+TEST(RuntimeEviction, EvictedSiteReturnsWarmWithCorrectResults) {
+  RuntimeOptions o = quiet_options();
+  o.max_sites = 2;
+  Runtime rt(o);
+  std::vector<ReductionInput> in;
+  std::vector<std::vector<double>> ref;
+  for (int v = 0; v < 3; ++v) {
+    in.push_back(site_input(v));
+    ref.emplace_back(in.back().pattern.dim, 0.0);
+    run_sequential(in.back(), ref.back());
+  }
+  std::vector<double> out(in[0].pattern.dim, 0.0);
+  // Learn site0 over a few invocations, then push it out of the table.
+  for (int k = 0; k < 3; ++k) {
+    std::fill(out.begin(), out.end(), 0.0);
+    (void)rt.submit(in[0], out);
+  }
+  const SchemeKind learned = rt.site("evict/site0").current();
+  const std::uint64_t learned_invocations =
+      rt.site("evict/site0").lifetime_invocations();
+  std::vector<double> out1(in[1].pattern.dim, 0.0);
+  std::vector<double> out2(in[2].pattern.dim, 0.0);
+  (void)rt.submit(in[1], out1);
+  (void)rt.submit(in[2], out2);
+  ASSERT_FALSE(rt.has_live_site("evict/site0")) << "site0 was the LRU victim";
+  const std::uint64_t warm_before = rt.warm_offers();
+
+  // The return: same input, fresh registration. It must warm-start from
+  // the persisted decision (no characterization run), keep the learned
+  // scheme, resume the lifetime invocation count, and stay correct.
+  std::fill(out.begin(), out.end(), 0.0);
+  (void)rt.submit(in[0], out);
+  ASSERT_TRUE(rt.has_live_site("evict/site0"));
+  EXPECT_EQ(rt.warm_offers(), warm_before + 1);
+  EXPECT_TRUE(rt.site("evict/site0").warm_started());
+  EXPECT_EQ(rt.site("evict/site0").recharacterizations(), 0u);
+  EXPECT_EQ(rt.site("evict/site0").current(), learned);
+  EXPECT_EQ(rt.site("evict/site0").lifetime_invocations(),
+            learned_invocations + 1);
+  for (std::size_t e = 0; e < ref[0].size(); ++e)
+    ASSERT_NEAR(out[e], ref[0][e], 1e-9 + 1e-9 * std::abs(ref[0][e]))
+        << "element " << e;
+}
+
+TEST(RuntimeEviction, TableStaysBoundedThroughSustainedChurn) {
+  RuntimeOptions o = quiet_options();
+  o.max_sites = 8;
+  Runtime rt(o);
+  std::vector<ReductionInput> in;
+  for (int v = 0; v < 40; ++v) in.push_back(site_input(v));
+  std::vector<double> out;
+  for (int round = 0; round < 3; ++round) {
+    for (const auto& i : in) {
+      out.assign(i.pattern.dim, 0.0);
+      (void)rt.submit(i, out);
+      EXPECT_LE(rt.site_count(), 8u)
+          << "single-threaded churn must never overshoot the cap";
+    }
+  }
+  EXPECT_GE(rt.evictions(), 40u * 3u - 8u);
+  // Bounded table, unbounded knowledge: every site's decision is held.
+  EXPECT_EQ(rt.warm_entries(), 40u);
+}
+
+TEST(RuntimeEviction, SweepIsANoOpWithoutCapOrTtl) {
+  Runtime rt(quiet_options());
+  auto a = site_input(0);
+  std::vector<double> out(a.pattern.dim, 0.0);
+  (void)rt.submit(a, out);
+  EXPECT_EQ(rt.sweep(), 0u);
+  EXPECT_EQ(rt.site_count(), 1u);
+  EXPECT_EQ(rt.evictions(), 0u);
+}
+
+}  // namespace
+}  // namespace sapp
