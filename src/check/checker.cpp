@@ -1,0 +1,444 @@
+#include "check/checker.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <limits>
+
+#include "common/assert.hpp"
+#include "common/timer.hpp"
+
+namespace sapp {
+
+namespace {
+
+/// 2^40 fixed-point grid of the sum checksum. The quantization is exact
+/// to half a grid step for any contribution with |c| < 2^22 (far above
+/// every workload in the repository); larger magnitudes saturate, which
+/// only ever widens the failure report, never crashes.
+constexpr double kQuantScale = 0x1p40;
+constexpr double kQuantInv = 0x1p-40;
+constexpr double kQuantClamp = 0x1p62;
+
+inline std::int64_t quantize(double v) {
+  const double x = std::clamp(v * kQuantScale, -kQuantClamp, kQuantClamp);
+  return std::llrint(x);
+}
+
+/// Finalizing 64-bit mixer (splitmix64 tail): the sampling predicate and
+/// the checksum fold both need a hash whose low bits are uniform.
+inline std::uint64_t mix64(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xFF51AFD7ED558CCDull;
+  x ^= x >> 33;
+  x *= 0xC4CEB9FE1A85EC53ull;
+  x ^= x >> 33;
+  return x;
+}
+
+inline std::uint64_t element_hash(std::uint64_t seed, std::uint64_t element) {
+  return mix64(seed ^ (element + 1) * 0x9E3779B97F4A7C15ull);
+}
+
+inline double combine_witness(CheckOp op, double a, double b) {
+  return op == CheckOp::kMin ? std::min(a, b) : std::max(a, b);
+}
+
+/// threshold = rate·2^64, computed in double; rate < 1 keeps it in range.
+/// Hoisted out of the per-block loops: ldexp is a libm call, and paying
+/// it per membership query dominated the whole selection pass.
+inline std::uint64_t sample_threshold(double rate) {
+  return static_cast<std::uint64_t>(std::ldexp(rate, 64));
+}
+
+/// int64 → double is one hardware convert; the generic __int128 path is a
+/// libgcc call. Every in-range value converts identically either way, and
+/// slot sums leave the int64 range only under deliberate saturation abuse.
+inline double i128_to_double(__int128 v) {
+  if (v >= static_cast<__int128>(std::numeric_limits<std::int64_t>::min()) &&
+      v <= static_cast<__int128>(std::numeric_limits<std::int64_t>::max()))
+    return static_cast<double>(static_cast<std::int64_t>(v));
+  return static_cast<double>(v);
+}
+
+/// Saturating add of non-negative magnitudes — commutative and
+/// associative (the sum is monotone, so any overflow pins every
+/// association at the ceiling), which keeps sharded merges exact.
+inline std::uint64_t sat_add_u64(std::uint64_t a, std::uint64_t b) {
+  const std::uint64_t s = a + b;
+  return s < a ? std::numeric_limits<std::uint64_t>::max() : s;
+}
+
+/// Content fingerprint over three 64-index windows of the reference
+/// stream, part of the sampled-positions cache key: a stale cache hit
+/// would need a pattern reallocated at the same addresses, with the same
+/// sizes, matching all three windows.
+std::uint64_t pattern_fingerprint(const ReductionInput& in) {
+  const auto& idx = in.pattern.refs.indices();
+  const std::size_t n = idx.size();
+  std::uint64_t h = 0x9E3779B97F4A7C15ull * (n + 1);
+  const std::size_t starts[3] = {0, n / 2, n > 64 ? n - 64 : 0};
+  for (const std::size_t s : starts)
+    for (std::size_t k = s; k < std::min(n, s + 64); ++k)
+      h = mix64(h ^ (h << 1) ^ idx[k]);
+  return h;
+}
+
+}  // namespace
+
+bool ReductionChecker::slot_sampled(std::uint64_t seed, double rate,
+                                    std::uint64_t element) {
+  if (rate >= 1.0) return true;
+  if (rate <= 0.0) return false;
+  return element_hash(seed, element >> kBlockShift) < sample_threshold(rate);
+}
+
+std::size_t ReductionChecker::count_sampled(std::uint64_t seed, double rate,
+                                            std::size_t dim) {
+  if (rate >= 1.0) return dim;
+  if (rate <= 0.0) return 0;
+  const std::uint64_t threshold = sample_threshold(rate);
+  const std::size_t nblocks = (dim + kBlock - 1) >> kBlockShift;
+  std::size_t n = 0;
+  for (std::size_t b = 0; b < nblocks; ++b)
+    if (element_hash(seed, b) < threshold)
+      n += std::min(kBlock, dim - (b << kBlockShift));
+  return n;
+}
+
+ReductionChecker::ReductionChecker(CheckerOptions opt, CheckOp op)
+    : opt_(opt), op_(op) {}
+
+namespace {
+
+/// Shared accumulate step of every fold variant. First touch initializes
+/// the (deliberately uninitialized) accumulators; the count is the guard.
+inline void accumulate_slot(CheckOp op, std::uint32_t slot, double c,
+                            std::span<std::uint32_t> counts,
+                            std::span<__int128> qsum,
+                            std::span<std::uint64_t> qabs,
+                            std::span<double> witness) {
+  const std::uint32_t seen = counts[slot]++;
+  if (op == CheckOp::kSum) {
+    const std::int64_t q = quantize(c);
+    const std::uint64_t a = q < 0 ? static_cast<std::uint64_t>(-(q + 1)) + 1
+                                  : static_cast<std::uint64_t>(q);
+    if (seen == 0) {
+      qsum[slot] = q;
+      qabs[slot] = a;
+    } else {
+      qsum[slot] += q;
+      qabs[slot] = sat_add_u64(qabs[slot], a);
+    }
+  } else {
+    witness[slot] = seen == 0 ? c : combine_witness(op, witness[slot], c);
+  }
+}
+
+}  // namespace
+
+void ReductionChecker::fold_serial(const ReductionInput& in,
+                                   std::size_t iter_begin,
+                                   std::size_t iter_end,
+                                   std::span<std::uint32_t> counts,
+                                   std::span<__int128> qsum,
+                                   std::span<std::uint64_t> qabs,
+                                   std::span<double> witness,
+                                   std::span<const double> scale) const {
+  const auto& refs = in.pattern.refs;
+  const double* vals = in.values.data();
+  const auto& ptr = refs.row_ptr();
+  const std::uint32_t* idx = refs.indices().data();
+  for (std::size_t i = iter_begin; i < iter_end; ++i) {
+    const double s = scale[i & 1023];
+    for (std::uint64_t j = ptr[i]; j < ptr[i + 1]; ++j) {
+      const std::uint32_t e = idx[j];
+      const std::uint32_t base = block_base_[e >> kBlockShift];
+      if (base == kUnsampled) continue;
+      const std::uint32_t slot =
+          base + (e & static_cast<std::uint32_t>(kBlock - 1));
+      accumulate_slot(op_, slot, vals[j] * s, counts, qsum, qabs, witness);
+    }
+  }
+}
+
+void ReductionChecker::fold_record(const ReductionInput& in,
+                                   std::span<std::uint32_t> counts,
+                                   std::span<__int128> qsum,
+                                   std::span<std::uint64_t> qabs,
+                                   std::span<double> witness,
+                                   std::span<const double> scale) {
+  fold_pos_.clear();
+  fold_iter_.clear();
+  const auto& refs = in.pattern.refs;
+  const double* vals = in.values.data();
+  const auto& ptr = refs.row_ptr();
+  const std::uint32_t* idx = refs.indices().data();
+  const std::size_t iters = in.pattern.iterations();
+  for (std::size_t i = 0; i < iters; ++i) {
+    const double s = scale[i & 1023];
+    for (std::uint64_t j = ptr[i]; j < ptr[i + 1]; ++j) {
+      const std::uint32_t e = idx[j];
+      const std::uint32_t base = block_base_[e >> kBlockShift];
+      if (base == kUnsampled) continue;
+      fold_pos_.push_back(static_cast<std::uint32_t>(j));
+      fold_iter_.push_back(static_cast<std::uint32_t>(i));
+      const std::uint32_t slot =
+          base + (e & static_cast<std::uint32_t>(kBlock - 1));
+      accumulate_slot(op_, slot, vals[j] * s, counts, qsum, qabs, witness);
+    }
+  }
+}
+
+void ReductionChecker::fold_replay(const ReductionInput& in,
+                                   std::span<std::uint32_t> counts,
+                                   std::span<__int128> qsum,
+                                   std::span<std::uint64_t> qabs,
+                                   std::span<double> witness,
+                                   std::span<const double> scale) const {
+  const double* vals = in.values.data();
+  const std::uint32_t* idx = in.pattern.refs.indices().data();
+  for (std::size_t k = 0; k < fold_pos_.size(); ++k) {
+    const std::uint32_t j = fold_pos_[k];
+    const std::uint32_t e = idx[j];
+    const std::uint32_t slot = block_base_[e >> kBlockShift] +
+                               (e & static_cast<std::uint32_t>(kBlock - 1));
+    const double c = vals[j] * scale[fold_iter_[k] & 1023];
+    accumulate_slot(op_, slot, c, counts, qsum, qabs, witness);
+  }
+}
+
+void ReductionChecker::begin(const ReductionInput& in,
+                             std::span<const double> out, ThreadPool* pool) {
+  SAPP_REQUIRE(in.consistent(), "values/pattern size mismatch");
+  SAPP_REQUIRE(out.size() == in.pattern.dim, "output size mismatch");
+  Timer t;
+  begun_ = true;
+  const std::size_t dim = in.pattern.dim;
+
+  // --- Select the sampled blocks and snapshot their pre-execution state.
+  // One hash decides a whole 16-element block, so this pass is O(dim/16)
+  // plus O(sampled) for the snapshot — the unsampled majority of the
+  // output array is never touched.
+  const std::size_t nblocks = (dim + kBlock - 1) >> kBlockShift;
+  block_base_.assign(nblocks, kUnsampled);
+  elements_.clear();
+  before_.clear();
+  const double rate = opt_.sample_rate;
+  const bool all = rate >= 1.0;
+  const bool none = !all && rate <= 0.0;
+  const std::uint64_t threshold = all || none ? 0 : sample_threshold(rate);
+  elements_.reserve(
+      all ? dim
+          : static_cast<std::size_t>(static_cast<double>(dim) *
+                                     std::min(1.0, rate * 1.2)) +
+                kBlock);
+  for (std::size_t b = 0; b < nblocks && !none; ++b) {
+    if (!all && element_hash(opt_.seed, b) >= threshold) continue;
+    block_base_[b] = static_cast<std::uint32_t>(elements_.size());
+    const std::size_t e0 = b << kBlockShift;
+    const std::size_t e1 = std::min(dim, e0 + kBlock);
+    before_.insert(before_.end(), out.begin() + e0, out.begin() + e1);
+    for (std::size_t e = e0; e < e1; ++e)
+      elements_.push_back(static_cast<std::uint32_t>(e));
+  }
+  const std::size_t n = elements_.size();
+  counts_.assign(n, 0);
+  if (n > accum_cap_) {
+    // Allocated for overwrite: slots are first-touch initialized in the
+    // fold, so untouched slots never fault their accumulator pages.
+    qsum_ = std::make_unique_for_overwrite<__int128[]>(n);
+    qabs_ = std::make_unique_for_overwrite<std::uint64_t[]>(n);
+    witness_ = std::make_unique_for_overwrite<double[]>(n);
+    accum_cap_ = n;
+  }
+
+  // --- Recompute contributions from the input stream. iteration_scale
+  // depends only on iter % 1024, so one 1024-entry table replaces the
+  // per-iteration flops chain (the scheme still pays it; the checker does
+  // not — this is what keeps the overhead a small fraction of loop time).
+  // The table itself is cached across begins: the flops chain per entry
+  // is expensive for device-model workloads, and body_flops rarely moves.
+  if (scale_.size() != 1024 || scale_flops_ != in.pattern.body_flops) {
+    scale_.resize(1024);
+    for (std::size_t k = 0; k < scale_.size(); ++k)
+      scale_[k] = iteration_scale(k, in.pattern.body_flops);
+    scale_flops_ = in.pattern.body_flops;
+  }
+  const std::span<const double> scale(scale_);
+
+  const std::size_t iters = in.pattern.iterations();
+  const std::size_t refs_total = in.pattern.refs.indices().size();
+  const std::span<std::uint32_t> counts(counts_);
+  const std::span<__int128> qsum(qsum_.get(), n);
+  const std::span<std::uint64_t> qabs(qabs_.get(), n);
+  const std::span<double> witness(witness_.get(), n);
+  const bool parallel =
+      pool != nullptr && pool->size() > 1 && iters >= 4096 && n > 0;
+  if (!parallel) {
+    // The sampled-positions cache pays off only for a partial sample on
+    // a pattern this checker has folded before (the steady state of a
+    // serving site re-submitting its loop); anything else is a plain scan.
+    const bool cacheable =
+        !all && !none && n > 0 &&
+        refs_total <= std::numeric_limits<std::uint32_t>::max() &&
+        iters <= std::numeric_limits<std::uint32_t>::max();
+    if (!cacheable) {
+      fold_serial(in, 0, iters, counts, qsum, qabs, witness, scale);
+    } else {
+      FoldKey key;
+      key.idx = in.pattern.refs.indices().data();
+      key.row_ptr = in.pattern.refs.row_ptr().data();
+      key.dim = dim;
+      key.iters = iters;
+      key.refs = refs_total;
+      key.seed = opt_.seed;
+      key.rate = rate;
+      key.fingerprint = pattern_fingerprint(in);
+      if (fold_cache_valid_ && key == fold_key_) {
+        fold_replay(in, counts, qsum, qabs, witness, scale);
+      } else {
+        fold_key_ = key;
+        fold_record(in, counts, qsum, qabs, witness, scale);
+        fold_cache_valid_ = true;
+      }
+    }
+  } else {
+    // Sharded pass: each worker folds its iteration block into private
+    // accumulator arrays (first-touch initialized, like the serial pass);
+    // the integer merge is exact (and the witness combine is the operator
+    // itself), so the final state — and the checksum — is bitwise
+    // identical to the serial pass.
+    const unsigned P = pool->size();
+    struct Shard {
+      std::vector<std::uint32_t> counts;
+      std::unique_ptr<__int128[]> qsum;
+      std::unique_ptr<std::uint64_t[]> qabs;
+      std::unique_ptr<double[]> witness;
+      bool used = false;
+    };
+    std::vector<Shard> shard(P);
+    const bool is_sum = op_ == CheckOp::kSum;
+    ThreadPool& tp = *pool;
+    auto* self = this;
+    tp.run([&, self](unsigned tid) {
+      const Range r = static_block(iters, tid, P);
+      if (r.empty()) return;
+      Shard& sh = shard[tid];
+      sh.used = true;
+      sh.counts.assign(n, 0);
+      sh.qsum = std::make_unique_for_overwrite<__int128[]>(n);
+      sh.qabs = std::make_unique_for_overwrite<std::uint64_t[]>(n);
+      sh.witness = std::make_unique_for_overwrite<double[]>(n);
+      self->fold_serial(in, r.begin, r.end, sh.counts,
+                        {sh.qsum.get(), n}, {sh.qabs.get(), n},
+                        {sh.witness.get(), n}, scale);
+    });
+    for (unsigned p = 0; p < P; ++p) {
+      if (!shard[p].used) continue;
+      for (std::size_t s = 0; s < n; ++s) {
+        const std::uint32_t sc = shard[p].counts[s];
+        if (sc == 0) continue;
+        const bool first = counts_[s] == 0;
+        counts_[s] += sc;
+        if (is_sum) {
+          qsum_[s] = first ? shard[p].qsum[s] : qsum_[s] + shard[p].qsum[s];
+          qabs_[s] =
+              first ? shard[p].qabs[s] : sat_add_u64(qabs_[s], shard[p].qabs[s]);
+        } else {
+          witness_[s] = first ? shard[p].witness[s]
+                              : combine_witness(op_, witness_[s],
+                                                shard[p].witness[s]);
+        }
+      }
+    }
+  }
+
+  // --- Order-independent mod-2^64 fold over the per-slot integer state.
+  // Slots that received no contribution are skipped: their state is a
+  // constant, so folding them would only pad the checksum with hash work
+  // (on sparse patterns most sampled slots are untouched). One mix64 per
+  // touched slot; element and accumulator enter through distinct odd
+  // multipliers so each diffuses independently.
+  const std::uint64_t cs_seed = opt_.seed ^ 0xC0DEull;
+  std::uint64_t sum = 0;
+  for (std::size_t s = 0; s < n; ++s) {
+    if (counts_[s] == 0) continue;
+    const std::uint64_t item =
+        op_ == CheckOp::kSum
+            ? static_cast<std::uint64_t>(static_cast<unsigned __int128>(qsum_[s]))
+            : std::bit_cast<std::uint64_t>(witness_[s]);
+    sum += mix64(cs_seed ^
+                 (elements_[s] + 1) * 0x9E3779B97F4A7C15ull ^
+                 item * 0xFF51AFD7ED558CCDull) +
+           counts_[s];
+  }
+  checksum_ = sum;
+  begin_s_ = t.seconds();
+}
+
+CheckReport ReductionChecker::verify(std::span<const double> out) const {
+  SAPP_REQUIRE(begun_, "verify before begin");
+  Timer t;
+  CheckReport rep;
+  rep.slots_sampled = elements_.size();
+  rep.input_checksum = checksum_;
+  constexpr double kEps = std::numeric_limits<double>::epsilon();
+  constexpr double kTiny = std::numeric_limits<double>::denorm_min();
+
+  for (std::size_t s = 0; s < elements_.size(); ++s) {
+    const std::uint32_t count = counts_[s];
+    const double before = before_[s];
+    const double after = out[elements_[s]];
+    // Fast pass-path: an untouched slot whose value is unchanged needs no
+    // tolerance math — on sparse patterns that is most sampled slots.
+    if (count == 0 && after == before) continue;
+    rep.contributions += count;
+    bool ok = true;
+    if (op_ == CheckOp::kSum) {
+      // expected = before + Σc on the 2^-40 grid. The tolerance covers
+      //   (a) the scheme's legal reassociation of before and n
+      //       contributions: ≤ (4+n)·eps·(|before| + Σ|c|) — the same
+      //       bound the differential test suite uses;
+      //   (b) the checker's quantization: ≤ n·2^-41 plus one rounding of
+      //       each conversion.
+      // Both padded ×2; derivation in docs/checking.md.
+      // count == 0 here means the slot was corrupted without receiving a
+      // contribution; its accumulators were never initialized, so the
+      // expected value is the snapshot alone.
+      const double qsumd =
+          count == 0 ? 0.0 : i128_to_double(qsum_[s]) * kQuantInv;
+      const double qabsd =
+          count == 0 ? 0.0 : static_cast<double>(qabs_[s]) * kQuantInv;
+      const double expected = before + qsumd;
+      const double n = static_cast<double>(count);
+      const double tol =
+          opt_.tolerance_scale *
+              ((8.0 + 2.0 * n) * kEps *
+                   (qabsd + std::abs(before) + std::abs(after)) +
+               (2.0 + n) * kQuantInv) +
+          4 * kTiny;
+      const double err = std::abs(after - expected);
+      if (tol > 0.0)
+        rep.max_rel_excess = std::max(rep.max_rel_excess, err / tol);
+      ok = err <= tol;
+    } else {
+      // min/max are exact: out[e] must equal Op(before, witness) as a
+      // value (== also accepts a ±0 sign flip, which reassociation of the
+      // exact operator can legally produce).
+      const double expected =
+          count == 0 ? before : combine_witness(op_, before, witness_[s]);
+      ok = after == expected;
+    }
+    if (!ok) {
+      ++rep.slots_failed;
+      if (rep.first_failed_slot == CheckReport::knpos)
+        rep.first_failed_slot = elements_[s];
+    }
+  }
+  rep.passed = rep.slots_failed == 0;
+  rep.check_s = begin_s_ + t.seconds();
+  return rep;
+}
+
+}  // namespace sapp

@@ -1,0 +1,229 @@
+// In-flight probabilistic reduction checking (ROADMAP item 5).
+//
+// A parallel reduction scheme is trusted to compute, for every element e,
+//     out[e] = before[e] ⊕ c_1 ⊕ c_2 ⊕ ... ⊕ c_k
+// over the contributions the access pattern assigns to e. The checker
+// recomputes that combine *independently of the scheme* from the input
+// stream — in a representation that is exact and order-independent — for a
+// pseudo-randomly sampled subset of elements, and compares against the
+// merged output after the scheme ran (Thrill's reduce_checker idea,
+// SNIPPETS.md #3, adapted to in-place array reductions).
+//
+// Per-operator checksum:
+//   * sum — each contribution is quantized to a 2^-40 fixed-point grid
+//     (llrint(ldexp(v, 40))) and accumulated into a 128-bit integer. The
+//     integer sum is exact and order-independent, so the checker state is
+//     bitwise identical across thread counts and combine orders; the
+//     mod-2^64 fold of the slot sums is the experiment's portable
+//     "input checksum". The verdict compares out[e] against
+//     before[e] + sum/2^40 under a tolerance that covers both the scheme's
+//     legal reassociation error and the quantization error (derivation in
+//     docs/checking.md).
+//   * min/max — the operators are exact (the result is one of the
+//     operands), so the checker keeps the extremal sampled contribution as
+//     a witness and demands value equality with Op(before, witness).
+//
+// Sampling: element e is checked iff its 16-element block hashes under the
+// rate threshold — mix64(seed, e/16) < rate·2^64 — a fixed pseudo-random
+// subset, independent of the scheme and of thread count. Block granularity
+// amortizes the membership hash (the selection pass is O(dim/16), not
+// O(dim)) without changing the single-corruption bound: each element's
+// membership is still a Bernoulli(rate) event, so one corrupted element is
+// detected with probability exactly `rate`; only elements sharing a block
+// are correlated (a corruption confined to k unsampled *blocks* escapes
+// with probability (1-rate)^k). rate = 1 checks every element.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "reductions/access_pattern.hpp"
+
+namespace sapp {
+
+/// Reduction operator the checker validates against. The type-erased
+/// scheme library runs double/sum; the templated schemes (and the tests)
+/// also exercise min/max.
+enum class CheckOp { kSum, kMin, kMax };
+
+[[nodiscard]] constexpr std::string_view to_string(CheckOp op) {
+  switch (op) {
+    case CheckOp::kSum: return "sum";
+    case CheckOp::kMin: return "min";
+    case CheckOp::kMax: return "max";
+  }
+  return "?";
+}
+
+/// Checker knobs, embedded in AdaptiveOptions as `check`.
+struct CheckerOptions {
+  /// Off by default: the unchecked path is byte-identical to a build
+  /// without the checker (no snapshot, no sampling pass).
+  bool enabled = false;
+  /// Fraction of elements sampled. Detection probability for one corrupted
+  /// element; overhead scales with it.
+  double sample_rate = 0.25;
+  /// Seed of the element-sampling hash. Fixed by default so runs are
+  /// reproducible; serving deployments may rotate it per process.
+  std::uint64_t seed = 0x5EEDC0DEDC0FFEEull;
+  /// Multiplier on the sum-tolerance (1.0 = the analytical bound used by
+  /// the differential test suite; raise only to diagnose false positives).
+  double tolerance_scale = 1.0;
+};
+
+/// Outcome of one begin()/verify() cycle.
+struct CheckReport {
+  static constexpr std::size_t knpos = std::numeric_limits<std::size_t>::max();
+
+  bool passed = true;
+  std::size_t slots_sampled = 0;   ///< elements under observation
+  std::size_t slots_failed = 0;    ///< elements whose combine was wrong
+  std::size_t contributions = 0;   ///< sampled contributions folded in
+  std::size_t first_failed_slot = knpos;  ///< element index of first failure
+  double max_rel_excess = 0.0;  ///< worst error/tolerance ratio seen (sum op)
+  std::uint64_t input_checksum = 0;  ///< order-independent mod-2^64 fold
+  double check_s = 0.0;              ///< wall time spent checking
+};
+
+/// One-shot checker for a single scheme execution: snapshot + input pass
+/// before the scheme runs, verdict after.
+class ReductionChecker {
+ public:
+  explicit ReductionChecker(CheckerOptions opt, CheckOp op = CheckOp::kSum);
+
+  /// Re-arm a checker for a new begin()/verify() cycle with different
+  /// options, keeping the allocated buffers. Lets long-lived callers
+  /// (Scheme::execute_checked keeps one checker per thread) amortize the
+  /// buffer setup across invocations instead of re-faulting pages each
+  /// call.
+  void configure(CheckerOptions opt, CheckOp op = CheckOp::kSum) {
+    opt_ = opt;
+    op_ = op;
+    begun_ = false;
+    checksum_ = 0;
+  }
+
+  /// Capture the pre-execution output snapshot for the sampled elements
+  /// and fold the input stream into the checker state. `out` is the
+  /// output array *before* the scheme runs. When `pool` is non-null and
+  /// the pattern is large enough the input pass is sharded over the pool
+  /// (the integer accumulation merges exactly, so the result is bitwise
+  /// identical to the serial pass).
+  void begin(const ReductionInput& in, std::span<const double> out,
+             ThreadPool* pool = nullptr);
+
+  /// Compare the post-execution output against the recomputed combines.
+  [[nodiscard]] CheckReport verify(std::span<const double> out) const;
+
+  /// Order-independent checksum of the sampled input stream (valid after
+  /// begin; equal across thread counts and combine orders by construction).
+  [[nodiscard]] std::uint64_t input_checksum() const { return checksum_; }
+
+  [[nodiscard]] std::size_t slots_sampled() const { return elements_.size(); }
+  [[nodiscard]] double begin_seconds() const { return begin_s_; }
+
+  /// The sampling predicate, exposed so tests and the fault-injection
+  /// experiment can compute the analytical detection probability exactly:
+  /// a single corruption of element e is detected iff slot_sampled(...).
+  [[nodiscard]] static bool slot_sampled(std::uint64_t seed, double rate,
+                                         std::uint64_t element);
+  /// Number of sampled elements in [0, dim) — the exact per-input
+  /// detection probability is count/dim for a uniformly placed corruption.
+  [[nodiscard]] static std::size_t count_sampled(std::uint64_t seed,
+                                                 double rate,
+                                                 std::size_t dim);
+
+ private:
+  /// Sampling block: one membership hash covers 2^kBlockShift consecutive
+  /// elements, and a sampled block's elements occupy consecutive slots.
+  static constexpr unsigned kBlockShift = 4;
+  static constexpr std::size_t kBlock = std::size_t{1} << kBlockShift;
+  static constexpr std::uint32_t kUnsampled = 0xFFFFFFFFu;
+
+  /// Per-sampled-element state, struct-of-arrays (the AoS layout cost a
+  /// 64-byte write per slot and dominated the whole begin pass). The
+  /// integer fields are exact under any association; `before_` is captured
+  /// once, not accumulated. `qabs_` saturates at 2^64-1 (absolute sums
+  /// past ~1.6e7 only widen the tolerance, never produce a false accept of
+  /// a corrupted slot beyond it); saturating addition of non-negative
+  /// values is commutative and associative, so shard merges stay exact.
+  ///
+  /// The accumulator arrays (qsum_/qabs_/witness_) are allocated without
+  /// initialization and first-touch initialized under the count guard
+  /// (count 0 → store, else combine): on sparse patterns most sampled
+  /// slots receive no contribution, and zero-filling 28 bytes per slot
+  /// was the largest single cost of begin() on bandwidth-bound hosts. No
+  /// path reads a slot's accumulators while its count is zero.
+  void fold_serial(const ReductionInput& in, std::size_t iter_begin,
+                   std::size_t iter_end, std::span<std::uint32_t> counts,
+                   std::span<__int128> qsum, std::span<std::uint64_t> qabs,
+                   std::span<double> witness,
+                   std::span<const double> scale) const;
+  /// Full serial scan that also records the sampled reference positions
+  /// into fold_pos_/fold_iter_ (cache fill).
+  void fold_record(const ReductionInput& in, std::span<std::uint32_t> counts,
+                   std::span<__int128> qsum, std::span<std::uint64_t> qabs,
+                   std::span<double> witness, std::span<const double> scale);
+  /// Replay of a recorded position list (cache hit); bitwise identical to
+  /// the full scan by construction.
+  void fold_replay(const ReductionInput& in, std::span<std::uint32_t> counts,
+                   std::span<__int128> qsum, std::span<std::uint64_t> qabs,
+                   std::span<double> witness,
+                   std::span<const double> scale) const;
+
+  /// Identity of an access pattern for the sampled-positions cache:
+  /// buffer addresses and sizes plus a content fingerprint over three
+  /// 64-index windows of the reference stream. A stale hit would need a
+  /// reallocation at the same addresses with the same sizes and matching
+  /// windows — the checker otherwise rescans, so mutated patterns only
+  /// cost the cache, never the verdict.
+  struct FoldKey {
+    const void* idx = nullptr;
+    const void* row_ptr = nullptr;
+    std::size_t dim = 0;
+    std::size_t iters = 0;
+    std::size_t refs = 0;
+    std::uint64_t seed = 0;
+    double rate = 0.0;
+    std::uint64_t fingerprint = 0;
+    bool operator==(const FoldKey&) const = default;
+  };
+
+  CheckerOptions opt_;
+  CheckOp op_;
+  /// Per-block map: first slot index of the block's run (kUnsampled when
+  /// the block is unobserved).
+  std::vector<std::uint32_t> block_base_;
+  std::vector<std::uint32_t> elements_;  ///< slot → element index
+  std::vector<double> before_;           ///< out[e] before the scheme ran
+  std::vector<std::uint32_t> counts_;    ///< contributions folded in
+  std::unique_ptr<__int128[]> qsum_;        ///< sum: Σ llrint(c·2^40), exact
+  std::unique_ptr<std::uint64_t[]> qabs_;   ///< sum: Σ|q|, saturating
+  std::unique_ptr<double[]> witness_;       ///< min/max: extremal contribution
+  std::size_t accum_cap_ = 0;  ///< allocated accumulator capacity (reused)
+  /// iteration_scale depends only on iter % 1024 and body_flops; the
+  /// table is rebuilt only when body_flops changes (the flops chain per
+  /// entry is expensive for device-model workloads).
+  std::vector<double> scale_;
+  double scale_flops_ = -1.0;
+  /// Sampled-positions cache: on a serial fold over a pattern already
+  /// seen (same FoldKey), only the reference positions that hit sampled
+  /// blocks are replayed — O(rate·refs) instead of O(refs), which is
+  /// what makes steady-state checking cheap for a long-lived serving
+  /// site that submits the same pattern repeatedly. The accumulation
+  /// order equals the recording scan's order, so the resulting state is
+  /// bitwise identical to a full scan.
+  FoldKey fold_key_;
+  bool fold_cache_valid_ = false;
+  std::vector<std::uint32_t> fold_pos_;   ///< ref positions j, scan order
+  std::vector<std::uint32_t> fold_iter_;  ///< iteration index per position
+  std::uint64_t checksum_ = 0;
+  double begin_s_ = 0.0;
+  bool begun_ = false;
+};
+
+}  // namespace sapp

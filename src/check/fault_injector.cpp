@@ -1,0 +1,63 @@
+#include "check/fault_injector.hpp"
+
+namespace sapp {
+
+void FaultInjector::arm(FaultSite site, std::uint64_t seed, int shots) {
+  std::scoped_lock lk(mu_);
+  armed_ = shots > 0;
+  site_ = site;
+  shots_ = shots;
+  rng_ = Rng(seed);
+}
+
+void FaultInjector::disarm() {
+  std::scoped_lock lk(mu_);
+  armed_ = false;
+  shots_ = 0;
+}
+
+bool FaultInjector::take_shot(FaultSite site) {
+  if (!armed_ || site != site_ || shots_ <= 0) return false;
+  --shots_;
+  if (shots_ == 0) armed_ = false;
+  return true;
+}
+
+void FaultInjector::record(FaultSite site, std::uint64_t element,
+                           double before, double after) {
+  events_.push_back(Event{site, element, before, after});
+}
+
+bool FaultInjector::corrupt_one(FaultSite site, std::span<double> data) {
+  std::scoped_lock lk(mu_);
+  if (data.empty() || !take_shot(site)) return false;
+  const auto i = rng_.below(data.size());
+  const double before = data[i];
+  data[i] = corrupt_value(before);
+  record(site, i, before, data[i]);
+  return true;
+}
+
+bool FaultInjector::corrupt_indirect(FaultSite site,
+                                     std::span<double* const> cells,
+                                     std::span<const std::uint32_t> elements) {
+  std::scoped_lock lk(mu_);
+  if (cells.empty() || !take_shot(site)) return false;
+  const auto i = rng_.below(cells.size());
+  const double before = *cells[i];
+  *cells[i] = corrupt_value(before);
+  record(site, elements[i], before, *cells[i]);
+  return true;
+}
+
+std::uint64_t FaultInjector::injected() const {
+  std::scoped_lock lk(mu_);
+  return events_.size();
+}
+
+std::vector<FaultInjector::Event> FaultInjector::events() const {
+  std::scoped_lock lk(mu_);
+  return events_;
+}
+
+}  // namespace sapp

@@ -1,0 +1,91 @@
+// Deliberate corruption hooks — the test layer that proves the checker's
+// detection bound empirically (SpiderMonkey's reduce-bail test does the
+// same for mid-reduction bailout: break the machinery on purpose, then
+// demand the recovery path produces the right answer).
+//
+// An armed injector corrupts exactly `shots` values (default one) at one
+// of three sites:
+//   * kSchemeCombine   — a merged private-buffer combine, i.e. one element
+//                        of the output array after a Scheme::execute;
+//   * kSpecCommit      — one speculative block's pending write/reduction
+//                        before R-LRPD validation commits it;
+//   * kRestoredDecision— the combine of an invocation running under a
+//                        warm-started (evicted-then-restored) cached
+//                        decision.
+// The corruption `v → v + (|v| + 1)` moves any finite value by at least 1,
+// far outside every legal floating-point reassociation tolerance, so a
+// sampled corrupted element is always detected. Thread-safe; every event
+// is recorded so experiments can compute the exact analytical detection
+// probability for the element that was actually hit.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace sapp {
+
+enum class FaultSite {
+  kSchemeCombine,
+  kSpecCommit,
+  kRestoredDecision,
+};
+
+[[nodiscard]] constexpr std::string_view to_string(FaultSite s) {
+  switch (s) {
+    case FaultSite::kSchemeCombine: return "scheme_combine";
+    case FaultSite::kSpecCommit: return "spec_commit";
+    case FaultSite::kRestoredDecision: return "restored_decision";
+  }
+  return "?";
+}
+
+class FaultInjector {
+ public:
+  struct Event {
+    FaultSite site{};
+    std::uint64_t element = 0;  ///< index corrupted (array slot or element id)
+    double original = 0.0;
+    double corrupted = 0.0;
+  };
+
+  /// Arm for `shots` corruptions at `site`; victim selection is driven by
+  /// `seed`. Re-arming replaces the previous configuration but keeps the
+  /// event log.
+  void arm(FaultSite site, std::uint64_t seed, int shots = 1);
+  void disarm();
+
+  /// Corrupt one uniformly chosen element of `data` if armed for `site`
+  /// and shots remain. The recorded element is the index into `data`.
+  /// Returns true when a corruption happened.
+  bool corrupt_one(FaultSite site, std::span<double> data);
+
+  /// Same, over indirect cells (`*cells[i]`); `elements[i]` is the element
+  /// id recorded for the victim (the R-LRPD path hands pending map cells).
+  bool corrupt_indirect(FaultSite site, std::span<double* const> cells,
+                        std::span<const std::uint32_t> elements);
+
+  [[nodiscard]] std::uint64_t injected() const;
+  [[nodiscard]] std::vector<Event> events() const;
+
+ private:
+  bool take_shot(FaultSite site);
+  void record(FaultSite site, std::uint64_t element, double before,
+              double after);
+
+  mutable std::mutex mu_;
+  bool armed_ = false;
+  FaultSite site_{};
+  int shots_ = 0;
+  Rng rng_{1};
+  std::vector<Event> events_;
+};
+
+/// The corruption applied to a victim value: moves any finite v by ≥ 1.
+[[nodiscard]] inline double corrupt_value(double v) { return v + (v < 0 ? -v : v) + 1.0; }
+
+}  // namespace sapp

@@ -82,9 +82,37 @@ void AdaptiveReducer::adopt(SchemeKind kind, const AccessPattern& p) {
 
 SchemeResult AdaptiveReducer::execute_arbitrated(const ReductionInput& in,
                                                  std::span<double> out) {
-  if (pool_mu_ == nullptr) return scheme_->execute(plan_.get(), in, pool_, out);
+  if (pool_mu_ == nullptr) return execute_current(in, out);
   std::scoped_lock lk(*pool_mu_);
-  return scheme_->execute(plan_.get(), in, pool_, out);
+  return execute_current(in, out);
+}
+
+/// One scheme execution, checked when AdaptiveOptions::check asks for it.
+/// On a failed check the output is rolled back to its pre-invocation
+/// snapshot and recomputed on the trusted sequential path, so a detected
+/// wrong combine is never shipped; the demotion happens in invoke().
+SchemeResult AdaptiveReducer::execute_current(const ReductionInput& in,
+                                              std::span<double> out) {
+  if (!opt_.check.enabled)
+    return scheme_->execute(plan_.get(), in, pool_, out);
+  check_before_.assign(out.begin(), out.end());
+  // A warm-started invocation is running an evicted-then-restored cached
+  // decision — corruption there is the injector's third class.
+  const FaultSite site = warm_started_ ? FaultSite::kRestoredDecision
+                                       : FaultSite::kSchemeCombine;
+  SchemeResult r =
+      scheme_->execute_checked(plan_.get(), in, pool_, out, opt_.check,
+                               &last_check_, opt_.fault_injector, site);
+  ++checks_run_;
+  if (!last_check_.passed) {
+    ++check_failures_;
+    last_check_failed_ = true;
+    std::copy(check_before_.begin(), check_before_.end(), out.begin());
+    Timer t;
+    make_scheme(SchemeKind::kSeq)->execute(nullptr, in, pool_, out);
+    r.check_s += t.seconds();
+  }
+  return r;
 }
 
 SchemeResult AdaptiveReducer::invoke(const ReductionInput& in,
@@ -154,6 +182,18 @@ SchemeResult AdaptiveReducer::invoke(const ReductionInput& in,
 
   SchemeResult r = execute_arbitrated(in, out);
   r.inspect_s += adapt_s;
+
+  if (last_check_failed_) {
+    // The scheme's combine was provably wrong (output already rolled back
+    // and recomputed serially in execute_current). Correctness evidence
+    // outranks every timing signal: demote the decision and re-characterize
+    // now, and keep the bogus measurement out of the phase history and the
+    // mispredict/time feedback. The frozen ablation still recovers the
+    // result but, by definition, never revisits its decision.
+    last_check_failed_ = false;
+    if (!opt_.freeze_decisions) characterize_and_decide(in.pattern);
+    return r;
+  }
 
   record_phase_time(r.total_s());
   if (opt_.freeze_decisions) return r;

@@ -28,6 +28,8 @@
 #include <span>
 #include <vector>
 
+#include "check/checker.hpp"
+#include "check/fault_injector.hpp"
 #include "core/decision.hpp"
 #include "core/decision_cache.hpp"
 #include "core/phase_monitor.hpp"
@@ -54,6 +56,18 @@ struct AdaptiveOptions {
   /// floor). `monitor.pattern_threshold` is overridden by
   /// `drift_threshold` above.
   PhaseMonitorOptions monitor{};
+  /// In-flight probabilistic result checking (src/check, docs/checking.md):
+  /// when enabled every invocation validates the scheme's combine against
+  /// an independent input-stream checksum. A failed check rolls the output
+  /// back to its pre-invocation state, re-executes serially (trusted
+  /// path), and demotes the decision that produced the wrong result — the
+  /// same re-characterization a phase change triggers, but on *correctness*
+  /// evidence instead of timing evidence.
+  CheckerOptions check{};
+  /// Test hook (never set in production): corrupts one combine / commit /
+  /// warm-started combine so tests and `sapp_repro checking` can prove the
+  /// detection bound empirically.
+  FaultInjector* fault_injector = nullptr;
   /// Freeze the first decision for the lifetime of the site: pattern drift
   /// only rebuilds the inspector plan for the frozen scheme (a plan is
   /// pattern-specific, so executing a stale one would be unsafe) and the
@@ -125,6 +139,14 @@ class AdaptiveReducer {
   /// without characterizing (reset by the next re-characterization).
   [[nodiscard]] bool warm_started() const { return warm_started_; }
 
+  /// In-flight check counters (only move when `opt.check.enabled`).
+  [[nodiscard]] std::uint64_t checks_run() const { return checks_run_; }
+  [[nodiscard]] std::uint64_t check_failures() const {
+    return check_failures_;
+  }
+  /// Verdict of the most recent checked invocation.
+  [[nodiscard]] const CheckReport& last_check() const { return last_check_; }
+
  private:
   void characterize_and_decide(const AccessPattern& p);
   void adopt(SchemeKind kind, const AccessPattern& p);
@@ -132,6 +154,8 @@ class AdaptiveReducer {
   void record_phase_time(double seconds);
   SchemeResult execute_arbitrated(const ReductionInput& in,
                                   std::span<double> out);
+  SchemeResult execute_current(const ReductionInput& in,
+                               std::span<double> out);
 
   ThreadPool& pool_;
   MachineCoeffs coeffs_;
@@ -154,6 +178,13 @@ class AdaptiveReducer {
   unsigned time_demotions_ = 0;
   int overruns_ = 0;
   bool warm_started_ = false;
+  std::uint64_t checks_run_ = 0;
+  std::uint64_t check_failures_ = 0;
+  bool last_check_failed_ = false;
+  CheckReport last_check_{};
+  /// Pre-invocation output snapshot for rollback (reused across checked
+  /// invocations to avoid an allocation per call).
+  std::vector<double> check_before_;
   /// Invocation evidence inherited from the cache entry on a warm start.
   std::uint64_t invocations_base_ = 0;
   /// Bounded ring of measured phase times (see phase_history()).

@@ -138,7 +138,18 @@ SchemeResult Runtime::submit(std::string_view site_id,
     // lands in a live site and is counted exactly once.
     if (s->evicted) continue;
     s->last_used_ns.store(now_ns(), std::memory_order_relaxed);
+    // In-flight check counters survive eviction: accumulate the per-site
+    // deltas into the runtime-wide tally while the site mutex is held.
+    const bool checking = opt_.adaptive.check.enabled;
+    const std::uint64_t cr0 = checking ? s->reducer->checks_run() : 0;
+    const std::uint64_t cf0 = checking ? s->reducer->check_failures() : 0;
     SchemeResult r = s->reducer->invoke(in, out);
+    if (checking) {
+      checks_run_.fetch_add(s->reducer->checks_run() - cr0,
+                            std::memory_order_relaxed);
+      check_failures_.fetch_add(s->reducer->check_failures() - cf0,
+                                std::memory_order_relaxed);
+    }
     // Asynchronous persistence: only note that this site moved on; the
     // maintenance thread snapshots and flushes off the submit path.
     store_->mark_dirty(site_id);
@@ -308,6 +319,9 @@ std::string Runtime::report() const {
     os << ", " << ev << " eviction(s)";
   if (const std::size_t cached = store_->size(); cached > 0)
     os << ", " << cached << " cached decision(s)";
+  if (const std::uint64_t cr = checks_run_.load(); cr > 0)
+    os << ", " << cr << " check(s) run / " << check_failures_.load()
+       << " failed";
   os << "\n";
   for_each_site([&](const std::string& id, const AdaptiveReducer& r) {
     os << "  site '" << id << "': ";

@@ -140,6 +140,15 @@ class Runtime {
   /// every maintenance tick). Returns the number of sites evicted.
   std::size_t sweep();
 
+  // ---- in-flight checking (AdaptiveOptions::check) -------------------
+  /// Checked invocations across every site, including evicted ones.
+  [[nodiscard]] std::uint64_t checks_run() const { return checks_run_.load(); }
+  /// Detected wrong combines (each rolled back, recomputed serially, and
+  /// demoted; see docs/checking.md).
+  [[nodiscard]] std::uint64_t check_failures() const {
+    return check_failures_.load();
+  }
+
   // ---- persistent decision cache ------------------------------------
   /// Snapshot of every live site that has settled on a scheme (keyed by
   /// site id; signature = the most recently observed pattern).
@@ -220,6 +229,8 @@ class Runtime {
   std::atomic<std::size_t> live_sites_{0};
   std::atomic<std::uint64_t> evictions_{0};
   std::atomic<std::uint64_t> warm_offers_{0};
+  std::atomic<std::uint64_t> checks_run_{0};
+  std::atomic<std::uint64_t> check_failures_{0};
   /// Serializes evictors (capacity + TTL sweeps scan the whole table).
   std::mutex evict_mu_;
   /// Warm-start + persistence engine (always constructed; file-backed

@@ -16,4 +16,27 @@ SchemeResult Scheme::run(const ReductionInput& in, ThreadPool& pool,
   return r;
 }
 
+SchemeResult Scheme::execute_checked(const SchemePlan* plan,
+                                     const ReductionInput& in,
+                                     ThreadPool& pool, std::span<double> out,
+                                     const CheckerOptions& check,
+                                     CheckReport* report,
+                                     FaultInjector* injector, FaultSite site,
+                                     CheckOp op) const {
+  SAPP_REQUIRE(report != nullptr, "execute_checked needs a report sink");
+  // One checker per thread, reused across invocations: its buffers are
+  // sized by the largest dim seen, and reusing them avoids re-faulting
+  // megabytes of accumulator pages on every checked execution (the single
+  // largest checking cost on bandwidth-bound hosts). begin() re-reads the
+  // options, so per-call rates/seeds/ops behave as if freshly constructed.
+  static thread_local ReductionChecker checker{CheckerOptions{}};
+  checker.configure(check, op);
+  checker.begin(in, out, &pool);
+  SchemeResult r = execute(plan, in, pool, out);
+  if (injector != nullptr) injector->corrupt_one(site, out);
+  *report = checker.verify(out);
+  r.check_s = report->check_s;
+  return r;
+}
+
 }  // namespace sapp

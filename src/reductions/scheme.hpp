@@ -12,6 +12,8 @@
 #include <span>
 #include <string_view>
 
+#include "check/checker.hpp"
+#include "check/fault_injector.hpp"
 #include "common/thread_pool.hpp"
 #include "common/timer.hpp"
 #include "reductions/access_pattern.hpp"
@@ -50,6 +52,9 @@ struct SchemeResult {
   double inspect_s = 0.0;   ///< inspector/plan time (amortizable across invocations)
   PhaseTimes phases;        ///< init / loop / merge wall times
   std::size_t private_bytes = 0;  ///< private storage allocated
+  /// Wall time the in-flight checker spent (execute_checked only). Kept
+  /// out of `phases` so checked and unchecked loop times stay comparable.
+  double check_s = 0.0;
 
   [[nodiscard]] double total_s() const { return phases.total(); }
   [[nodiscard]] double total_with_inspect_s() const {
@@ -101,6 +106,23 @@ class Scheme {
   /// Convenience: plan + execute, folding plan time into inspect_s.
   SchemeResult run(const ReductionInput& in, ThreadPool& pool,
                    std::span<double> out) const;
+
+  /// Execute with in-flight probabilistic checking (docs/checking.md):
+  /// snapshot + input-stream checksum before the scheme runs, combine
+  /// verdict after. Works for every scheme — the checker observes only the
+  /// input stream and the merged output, never scheme internals. When
+  /// `injector` is armed for `site` it corrupts one merged output element
+  /// between execution and verification (the fault-injection proof).
+  /// The verdict lands in `*report` (required); a failed check leaves
+  /// `out` in its corrupted state — recovery policy belongs to the caller
+  /// (AdaptiveReducer rolls back and re-executes serially).
+  SchemeResult execute_checked(const SchemePlan* plan,
+                               const ReductionInput& in, ThreadPool& pool,
+                               std::span<double> out,
+                               const CheckerOptions& check, CheckReport* report,
+                               FaultInjector* injector = nullptr,
+                               FaultSite site = FaultSite::kSchemeCombine,
+                               CheckOp op = CheckOp::kSum) const;
 };
 
 }  // namespace sapp

@@ -1,0 +1,479 @@
+// In-flight checking experiment:
+//   checking — (a) checker overhead: fig3-sized reductions executed
+//              unchecked vs. checked at the serving deployment rate
+//              (0.05) and the audit rates 0.25 and 1.0 (the checked wall
+//              time includes snapshot, input-stream pass and verdict);
+//              (b) detection rate: the FaultInjector corrupts
+//              exactly one value per trial at each of the three wired
+//              sites — a scheme combine (AdaptiveReducer), a speculative
+//              commit (R-LRPD), a warm-started combine from a restored
+//              cache decision (Runtime restart) — and the observed
+//              detections are compared against the analytical bound.
+//
+// Detection is exactly predictable per trial: a single corrupted element e
+// is caught iff ReductionChecker::slot_sampled(seed, rate, e), so beyond
+// the aggregate binomial envelope the experiment asserts per-trial
+// agreement (detection_trial_agreement). docs/checking.md derives the
+// bound; the CI repro-smoke gate requires 100% detection at rate 1.0,
+// overhead <= 15% at the serving rate on full fig3 scale, zero false
+// positives and zero recovery mismatches.
+#include <unistd.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <filesystem>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "check/checker.hpp"
+#include "check/fault_injector.hpp"
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+#include "core/adaptive.hpp"
+#include "core/runtime.hpp"
+#include "repro/registry.hpp"
+#include "spec/rlrpd.hpp"
+#include "workloads/paramsets.hpp"
+#include "workloads/workload.hpp"
+
+namespace sapp::repro {
+
+namespace {
+
+constexpr std::uint64_t kCheckSeed = 0x5EEDC0DEDC0FFEEull;
+
+CheckerOptions checker_options(double rate) {
+  CheckerOptions co;
+  co.enabled = true;
+  co.sample_rate = rate;
+  co.seed = kCheckSeed;
+  return co;
+}
+
+/// Tally shared by every section; the gates read these.
+struct Tally {
+  std::uint64_t false_positives = 0;    ///< clean runs that failed the check
+  std::uint64_t recovery_mismatches = 0;///< detected trials with wrong output
+  bool trial_agreement = true;  ///< detection == sampling predicate, per trial
+};
+
+// ---- overhead: checked vs unchecked execution ------------------------
+
+struct OverheadRow {
+  std::string label;
+  double unchecked_s = 0.0;
+  double serving_s = 0.0;  ///< the deployment rate, 0.05 — the gated number
+  double quarter_s = 0.0;
+  double full_s = 0.0;
+  std::size_t sampled = 0;
+};
+
+/// In-flight sample rate the serving runtime deploys with (see
+/// exp_serving.cpp); the CI overhead gate is evaluated at this rate.
+constexpr double kServingRate = 0.05;
+
+OverheadRow measure_row(RunContext& ctx, const workloads::Workload& w,
+                        Tally& tally) {
+  ThreadPool& pool = ctx.pool();
+  const auto scheme = make_scheme(SchemeKind::kRep);
+  const auto plan = scheme->plan(w.input.pattern, pool.size());
+  std::vector<double> out(w.input.pattern.dim, 0.0);
+
+  OverheadRow row;
+  row.label = w.app + "/" + w.loop + " " + w.variant;
+  {
+    // Untimed rate-1.0 pass: sizes the per-thread checker's reusable
+    // buffers for this dim so no timed sample pays the one-off
+    // allocation faults (a real runtime amortizes them the same way).
+    CheckReport rep;
+    (void)scheme->execute_checked(plan.get(), w.input, pool, out,
+                                  checker_options(1.0), &rep);
+    std::fill(out.begin(), out.end(), 0.0);
+  }
+  row.unchecked_s = ctx.measure([&] {
+    std::fill(out.begin(), out.end(), 0.0);
+    Timer t;
+    (void)scheme->execute(plan.get(), w.input, pool, out);
+    return t.seconds();
+  });
+  const auto checked = [&](double rate, double& out_s) {
+    const CheckerOptions co = checker_options(rate);
+    out_s = ctx.measure([&] {
+      std::fill(out.begin(), out.end(), 0.0);
+      Timer t;
+      CheckReport rep;
+      (void)scheme->execute_checked(plan.get(), w.input, pool, out, co, &rep);
+      if (!rep.passed) ++tally.false_positives;
+      return t.seconds();
+    });
+  };
+  checked(kServingRate, row.serving_s);
+  checked(0.25, row.quarter_s);
+  checked(1.0, row.full_s);
+  row.sampled = ReductionChecker::count_sampled(kCheckSeed, 0.25,
+                                                w.input.pattern.dim);
+  return row;
+}
+
+// ---- detection trials -------------------------------------------------
+
+/// Outcome of one class x rate trial batch.
+struct TrialBatch {
+  int trials = 0;
+  int injected = 0;   ///< trials whose injector actually fired
+  int detected = 0;
+  int predicted = 0;  ///< trials whose corrupted element was sampled
+};
+
+ReductionInput detection_input(std::uint64_t seed) {
+  workloads::SynthParams p;
+  p.dim = 1200;
+  p.distinct = 1200;
+  p.iterations = 4000;
+  p.refs_per_iter = 3;
+  p.seed = seed;
+  return workloads::make_synthetic(p);
+}
+
+AdaptiveOptions quiet_adaptive(double rate) {
+  AdaptiveOptions o;
+  // Park the timing feedback: these trials measure the correctness
+  // detector, and contended timing would demote decisions at random.
+  o.mispredict_patience = 1 << 30;
+  o.monitor.time_drift_patience = 1 << 30;
+  o.check = checker_options(rate);
+  return o;
+}
+
+/// Corrupt one merged output element per trial inside AdaptiveReducer's
+/// checked execute path (FaultSite::kSchemeCombine). Detection must roll
+/// the output back to the bitwise serial result.
+TrialBatch scheme_combine_trials(RunContext& ctx, double rate, int trials,
+                                 Tally& tally) {
+  const ReductionInput in = detection_input(424242);
+  std::vector<double> ref(in.pattern.dim, 0.0);
+  run_sequential(in, ref);
+
+  FaultInjector inj;
+  AdaptiveOptions opt = quiet_adaptive(rate);
+  opt.fault_injector = &inj;
+  AdaptiveReducer red(ctx.pool(), ctx.coeffs(), opt);
+  std::vector<double> out(in.pattern.dim, 0.0);
+  (void)red.invoke(in, out);  // clean first invocation settles the decision
+  tally.false_positives += red.check_failures();
+
+  TrialBatch b;
+  b.trials = trials;
+  for (int t = 0; t < trials; ++t) {
+    const std::uint64_t before = red.check_failures();
+    const std::uint64_t shots_before = inj.injected();
+    inj.arm(FaultSite::kSchemeCombine,
+            0xC0DEull + static_cast<std::uint64_t>(t), 1);
+    std::fill(out.begin(), out.end(), 0.0);
+    (void)red.invoke(in, out);
+    if (inj.injected() != shots_before + 1) continue;
+    ++b.injected;
+    const bool detected = red.check_failures() == before + 1;
+    const bool predicted = ReductionChecker::slot_sampled(
+        kCheckSeed, rate, inj.events().back().element);
+    b.detected += detected ? 1 : 0;
+    b.predicted += predicted ? 1 : 0;
+    if (detected != predicted) tally.trial_agreement = false;
+    if (detected) {
+      // Recovery contract: rollback + serial re-execution, bitwise.
+      for (std::size_t e = 0; e < ref.size(); ++e)
+        if (out[e] != ref[e]) {
+          ++tally.recovery_mismatches;
+          break;
+        }
+    }
+    inj.disarm();
+  }
+  return b;
+}
+
+/// Reduction-only speculative body: work derived from the iteration index
+/// alone, so re-execution rounds replay identical contributions and the
+/// loop is provably conflict-free (any check failure is the injector's).
+SpecLoopBody reduction_body(std::size_t dim, std::uint64_t seed) {
+  return [dim, seed](std::size_t iter, SpecArray& arr) {
+    Rng rng(seed ^ (static_cast<std::uint64_t>(iter) * 0x9E3779B97F4A7C15ull));
+    for (int r = 0; r < 3; ++r)
+      arr.reduce_add(static_cast<std::uint32_t>(rng.below(dim)),
+                     rng.uniform(-1.0, 1.0));
+  };
+}
+
+/// Corrupt one pending speculative value per trial between block execution
+/// and validation (FaultSite::kSpecCommit). A detected corruption must
+/// roll the block back through the mis-speculation path and converge on
+/// the sequential result.
+TrialBatch spec_commit_trials(RunContext& ctx, double rate, int trials,
+                              Tally& tally) {
+  // 512 elements = 32 sampling blocks: enough granularity that a 0.25
+  // sample observes some of the speculative array (dim/16 blocks is the
+  // sampling resolution — see ReductionChecker).
+  constexpr std::size_t kDim = 512;
+  constexpr std::size_t kIters = 600;
+  TrialBatch b;
+  b.trials = trials;
+  for (int t = 0; t < trials; ++t) {
+    const std::uint64_t seed = 0x5bec0ull + static_cast<std::uint64_t>(t);
+    const SpecLoopBody body = reduction_body(kDim, seed);
+    std::vector<double> ref(kDim, 0.0);
+    sequential_execute(kIters, body, ref);
+
+    FaultInjector inj;
+    inj.arm(FaultSite::kSpecCommit, seed * 31 + 7, 1);
+    RlrpdConfig cfg;
+    cfg.check = checker_options(rate);
+    cfg.fault_injector = &inj;
+    std::vector<double> data(kDim, 0.0);
+    const RlrpdStats st =
+        rlrpd_execute(kIters, body, data, ctx.pool(), cfg);
+    if (inj.injected() != 1) continue;
+    ++b.injected;
+    const bool detected = st.check_failures >= 1;
+    const bool predicted = ReductionChecker::slot_sampled(
+        kCheckSeed, rate, inj.events()[0].element);
+    b.detected += detected ? 1 : 0;
+    b.predicted += predicted ? 1 : 0;
+    if (detected != predicted) tally.trial_agreement = false;
+    if (detected) {
+      for (std::size_t e = 0; e < kDim; ++e)
+        if (std::abs(data[e] - ref[e]) > 1e-9 + 1e-9 * std::abs(ref[e])) {
+          ++tally.recovery_mismatches;
+          break;
+        }
+    }
+  }
+  return b;
+}
+
+/// Corrupt one combine of a warm-started site (FaultSite::
+/// kRestoredDecision): a learning Runtime persists its decision into a
+/// sharded store, then each trial restarts a fresh Runtime against that
+/// store and corrupts the first checked invocation of the reloaded
+/// decision. Detection must recover serially and demote the decision.
+TrialBatch restored_decision_trials(RunContext& ctx, double rate, int trials,
+                                    const std::string& dir, Tally& tally) {
+  const ReductionInput in = detection_input(777777);
+  std::vector<double> ref(in.pattern.dim, 0.0);
+  run_sequential(in, ref);
+
+  RuntimeOptions ro;
+  ro.threads = ctx.threads();
+  ro.coeffs = &ctx.coeffs();
+  ro.adaptive = quiet_adaptive(rate);
+  ro.decision_cache_dir = dir;
+  {
+    // Learning pass: settle and persist the decision (destructor flushes).
+    Runtime learn(ro);
+    std::vector<double> out(in.pattern.dim, 0.0);
+    for (int k = 0; k < 3; ++k) {
+      std::fill(out.begin(), out.end(), 0.0);
+      (void)learn.submit("checking/restored", in, out);
+    }
+    tally.false_positives += learn.check_failures();
+  }
+
+  TrialBatch b;
+  b.trials = trials;
+  std::vector<double> out(in.pattern.dim, 0.0);
+  for (int t = 0; t < trials; ++t) {
+    FaultInjector inj;
+    inj.arm(FaultSite::kRestoredDecision,
+            0x4E57ull + static_cast<std::uint64_t>(t), 1);
+    RuntimeOptions rt_opt = ro;
+    rt_opt.adaptive.fault_injector = &inj;
+    Runtime rt(rt_opt);  // fresh process-restart Runtime, reloaded store
+    std::fill(out.begin(), out.end(), 0.0);
+    (void)rt.submit("checking/restored", in, out);
+    if (inj.injected() != 1) continue;  // cold start: site never fired
+    ++b.injected;
+    const bool detected = rt.check_failures() == 1;
+    const bool predicted = ReductionChecker::slot_sampled(
+        kCheckSeed, rate, inj.events()[0].element);
+    b.detected += detected ? 1 : 0;
+    b.predicted += predicted ? 1 : 0;
+    if (detected != predicted) tally.trial_agreement = false;
+    if (detected) {
+      for (std::size_t e = 0; e < ref.size(); ++e)
+        if (out[e] != ref[e]) {
+          ++tally.recovery_mismatches;
+          break;
+        }
+    }
+  }
+  return b;
+}
+
+double pct(double part, double whole) {
+  return whole > 0.0 ? 100.0 * part / whole : 0.0;
+}
+
+ExperimentResult run_checking(RunContext& ctx) {
+  const double scale = ctx.scale(0.3);
+  Tally tally;
+
+  // --- (a) overhead on fig3-sized inputs -----------------------------
+  const auto rows = workloads::fig3_rows(scale);
+  ResultTable overhead("checker_overhead",
+                       {"Workload", "Unchecked ms", "Checked 0.05 ms",
+                        "Overhead 0.05 %", "Checked 0.25 ms",
+                        "Overhead 0.25 %", "Checked 1.0 ms",
+                        "Overhead 1.0 %", "Sampled elems"});
+  double sum_unchecked = 0.0, sum_serving = 0.0, sum_quarter = 0.0,
+         sum_full = 0.0;
+  // Every 4th row spans all six applications without timing all 21.
+  for (std::size_t i = 0; i < rows.size(); i += 4) {
+    const OverheadRow r = measure_row(ctx, rows[i].workload, tally);
+    sum_unchecked += r.unchecked_s;
+    sum_serving += r.serving_s;
+    sum_quarter += r.quarter_s;
+    sum_full += r.full_s;
+    overhead.add_row(
+        {r.label, round_to(r.unchecked_s * 1e3, 3),
+         round_to(r.serving_s * 1e3, 3),
+         round_to(pct(r.serving_s - r.unchecked_s, r.unchecked_s), 1),
+         round_to(r.quarter_s * 1e3, 3),
+         round_to(pct(r.quarter_s - r.unchecked_s, r.unchecked_s), 1),
+         round_to(r.full_s * 1e3, 3),
+         round_to(pct(r.full_s - r.unchecked_s, r.unchecked_s), 1),
+         static_cast<double>(r.sampled)});
+  }
+  const double overhead_serving =
+      pct(sum_serving - sum_unchecked, sum_unchecked);
+  const double overhead_quarter =
+      pct(sum_quarter - sum_unchecked, sum_unchecked);
+  const double overhead_full = pct(sum_full - sum_unchecked, sum_unchecked);
+
+  // --- (b) fault-injection detection ----------------------------------
+  const std::string dir_base =
+      (std::filesystem::temp_directory_path() /
+       ("sapp_checking." + std::to_string(::getpid()) + ".cache"))
+          .string();
+  const int scheme_trials = ctx.tiny() ? 30 : 120;
+  const int spec_trials = ctx.tiny() ? 20 : 80;
+  const int restored_trials = ctx.tiny() ? 10 : 40;
+
+  ResultTable det("fault_detection",
+                  {"Fault site", "Rate", "Trials", "Injected", "Detected",
+                   "Predicted", "Detection %"});
+  double full_min = 1.0;
+  double quarter_obs = 0.0, quarter_trials = 0.0;
+  int injected_total = 0, trials_total = 0;
+  const auto record = [&](const char* name, double rate, const TrialBatch& b,
+                          bool uniform_victims) {
+    const double obs =
+        b.injected > 0 ? static_cast<double>(b.detected) / b.injected : 0.0;
+    det.add_row({name, rate, static_cast<double>(b.trials),
+                 static_cast<double>(b.injected),
+                 static_cast<double>(b.detected),
+                 static_cast<double>(b.predicted), round_to(obs * 100.0, 1)});
+    injected_total += b.injected;
+    trials_total += b.trials;
+    if (rate == 1.0) full_min = std::min(full_min, obs);
+    // The binomial envelope only applies where victims are uniform over
+    // [0, dim) — the two corrupt_one sites; the spec site corrupts a
+    // uniformly chosen *pending cell*, so its victim distribution follows
+    // the access pattern and only the per-trial agreement is asserted.
+    if (rate == 0.25 && uniform_victims) {
+      quarter_obs += b.detected;
+      quarter_trials += b.injected;
+    }
+  };
+
+  for (const double rate : {0.25, 1.0}) {
+    const std::string tag = rate == 1.0 ? ".full" : ".quarter";
+    record("scheme combine", rate,
+           scheme_combine_trials(ctx, rate, scheme_trials, tally), true);
+    record("speculative commit", rate,
+           spec_commit_trials(ctx, rate, spec_trials, tally), false);
+    const std::string dir = dir_base + tag;
+    std::filesystem::remove_all(dir);
+    record("restored decision", rate,
+           restored_decision_trials(ctx, rate, restored_trials, dir, tally),
+           true);
+    std::error_code ec;
+    std::filesystem::remove_all(dir, ec);
+  }
+
+  // Analytical bound for the uniform-victim sites at rate 0.25: the
+  // sampled fraction of the detection input's element space.
+  const std::size_t dim = detection_input(424242).pattern.dim;
+  const double analytic =
+      static_cast<double>(ReductionChecker::count_sampled(kCheckSeed, 0.25,
+                                                          dim)) /
+      static_cast<double>(dim);
+  const double observed_quarter =
+      quarter_trials > 0.0 ? quarter_obs / quarter_trials : 0.0;
+  const double sigma =
+      quarter_trials > 0.0
+          ? std::sqrt(analytic * (1.0 - analytic) / quarter_trials)
+          : 0.0;
+  const bool within =
+      std::abs(observed_quarter - analytic) <= 4.0 * sigma + 1e-12;
+
+  ExperimentResult res;
+  res.tables.push_back(std::move(overhead));
+  res.tables.push_back(std::move(det));
+  res.metric("threads", ctx.threads());
+  res.metric("checker_overhead_pct", round_to(overhead_serving, 2));
+  res.metric("checker_overhead_quarter_pct", round_to(overhead_quarter, 2));
+  res.metric("checker_overhead_full_pct", round_to(overhead_full, 2));
+  res.metric("detection_rate_full_min", round_to(full_min, 4));
+  res.metric("detection_rate_quarter", round_to(observed_quarter, 4));
+  res.metric("analytic_rate_quarter", round_to(analytic, 4));
+  res.metric("detection_within_tolerance", within ? 1 : 0);
+  res.metric("detection_trial_agreement", tally.trial_agreement ? 1 : 0);
+  res.metric("trials_total", trials_total);
+  res.metric("injected_total", injected_total);
+  res.metric("recovery_mismatches",
+             static_cast<double>(tally.recovery_mismatches));
+  res.metric("false_positives", static_cast<double>(tally.false_positives));
+  res.note("checker_overhead_pct compares wall time of rep-scheme "
+           "executions with and without the in-flight checker at the "
+           "serving deployment rate (0.05, the rate exp_serving.cpp runs "
+           "with), summed over fig3 rows (median of reps each); the "
+           "checked time includes the output snapshot, the input-stream "
+           "checksum pass and the verdict. The CI gate is <= 15% at full "
+           "fig3 scale; checker_overhead_quarter_pct / _full_pct report "
+           "the audit rates 0.25 and 1.0, whose cost grows with the "
+           "sampled fraction (see docs/checking.md).");
+  res.note("Detection is exactly predictable per trial: a corruption of "
+           "element e is caught iff slot_sampled(seed, rate, e), so "
+           "detection_trial_agreement = 1 means every trial matched the "
+           "analytical predicate; detection_within_tolerance additionally "
+           "places the uniform-victim aggregate at rate 0.25 inside 4 "
+           "sigma of the sampled fraction (docs/checking.md derives the "
+           "1-(1-s)^k bound).");
+  res.note("Every detected corruption must recover: the scheme-combine "
+           "and restored-decision sites roll back and re-execute serially "
+           "(bitwise-equal to run_sequential), the speculative-commit "
+           "site re-executes the failed block through the ordinary "
+           "mis-speculation path. recovery_mismatches counts detected "
+           "trials whose final output still disagreed — the gate is 0, as "
+           "is false_positives (clean checked runs that failed).");
+  return res;
+}
+
+}  // namespace
+
+void register_checking_experiments(ExperimentRegistry& r) {
+  r.add({.name = "checking",
+         .title = "in-flight checking: overhead + fault-injection detection",
+         .paper_ref = "§4 + ROADMAP item 5",
+         .description =
+             "Measure the in-flight probabilistic checker's overhead "
+             "against unchecked execution on fig3-sized inputs, and its "
+             "detection rate under single-value fault injection at the "
+             "three wired sites (scheme combine, speculative commit, "
+             "restored cache decision) at sample rates 0.25 and 1.0.",
+         .default_scale = 0.3,
+         .run = run_checking});
+}
+
+}  // namespace sapp::repro

@@ -6,6 +6,14 @@
 //             working set hot, so sites continually go cold, get evicted by
 //             the LRU cap, persist their decision into the sharded store,
 //             and later return to warm-start instead of re-characterizing.
+//             Reps share one store directory: rep 0 populates it, every
+//             later rep constructs a *fresh* Runtime against the same
+//             shards — a process-restart drill that must reload every
+//             persisted decision and warm-start returning sites with zero
+//             mismatches. Submissions also run the in-flight reduction
+//             checker at a low sample rate, so the serving numbers include
+//             the checking tax and any silent corruption would surface as
+//             check_failures.
 //
 // Reported: sustained throughput (median across reps) and p50/p90/p99
 // site-invocation latency (log-linear histogram merged across reps and
@@ -87,6 +95,10 @@ RuntimeOptions runtime_options(RunContext& ctx, const ServingConfig& c,
   o.max_sites = c.cap;
   o.decision_cache_dir = cache_dir;
   o.flush_interval_s = 0.01;  // many async flushes within a ~1 s run
+  // In-flight checking at a serving-realistic sample rate: cheap enough to
+  // leave on, dense enough that sustained corruption could not hide.
+  o.adaptive.check.enabled = true;
+  o.adaptive.check.sample_rate = 0.05;
   return o;
 }
 
@@ -102,6 +114,9 @@ struct RepStats {
   std::size_t max_live = 0;
   std::size_t end_live = 0;
   std::size_t store_entries = 0;
+  std::size_t store_entries_start = 0;  // reloaded from disk at construction
+  std::uint64_t checks_run = 0;
+  std::uint64_t check_failures = 0;
 };
 
 RepStats run_rep(RunContext& ctx, const ServingConfig& cfg,
@@ -109,6 +124,7 @@ RepStats run_rep(RunContext& ctx, const ServingConfig& cfg,
                  const std::vector<std::vector<double>>& refs,
                  const std::string& cache_dir, int rep) {
   Runtime rt(runtime_options(ctx, cfg, cache_dir));
+  const std::size_t entries_start = rt.warm_entries();
 
   std::size_t max_dim = 0;
   for (const auto& in : inputs) max_dim = std::max(max_dim, in.pattern.dim);
@@ -180,6 +196,9 @@ RepStats run_rep(RunContext& ctx, const ServingConfig& cfg,
   for (const auto& h : hists) s.hist.merge(h);
   s.evictions = rt.evictions();
   s.warm_offers = rt.warm_offers();
+  s.store_entries_start = entries_start;
+  s.checks_run = rt.checks_run();
+  s.check_failures = rt.check_failures();
   s.mismatches = mismatches.load();
   s.max_live = std::max(max_live.load(), rt.site_count());
   s.end_live = rt.site_count();
@@ -212,27 +231,27 @@ ExperimentResult run_serving(RunContext& ctx) {
     run_sequential(inputs[i], refs[i]);
   }
 
-  // PID-qualified store directory per rep: reps stay independent (no
-  // cross-rep warm starts) and concurrent sapp_repro runs never share a
-  // shard file.
-  const std::string dir_base =
+  // PID-qualified store directory shared by ALL reps: rep 0 starts cold
+  // and populates the shards; every later rep constructs a fresh Runtime
+  // against the same directory — a process restart. Concurrent sapp_repro
+  // runs still never share a shard file. At least two reps always run so
+  // the restart path is exercised even under --reps 1 / --tiny.
+  const std::string dir =
       (std::filesystem::temp_directory_path() /
        ("sapp_serving." + std::to_string(::getpid()) + ".cache"))
           .string();
+  std::filesystem::remove_all(dir);
 
-  const int reps = std::max(1, ctx.reps());
+  const int reps = std::max(2, ctx.reps());
   std::vector<RepStats> stats;
   std::vector<double> rps;
   LatencyHistogram merged;
   ResultTable per_rep("serving_reps",
                       {"Rep", "Wall s", "Throughput req/s", "p50 us",
                        "p99 us", "Evictions", "Warm offers", "Flushes",
-                       "Max live", "End live"});
+                       "Max live", "End live", "Store at start"});
   for (int rep = 0; rep < reps; ++rep) {
-    const std::string dir = dir_base + "." + std::to_string(rep);
     RepStats s = run_rep(ctx, cfg, inputs, refs, dir, rep);
-    std::error_code ec;
-    std::filesystem::remove_all(dir, ec);
     const double tput =
         s.wall_s > 0.0 ? static_cast<double>(cfg.requests) / s.wall_s : 0.0;
     rps.push_back(tput);
@@ -244,22 +263,42 @@ ExperimentResult run_serving(RunContext& ctx) {
                      static_cast<double>(s.warm_offers),
                      static_cast<double>(s.flushes),
                      static_cast<double>(s.max_live),
-                     static_cast<double>(s.end_live)});
+                     static_cast<double>(s.end_live),
+                     static_cast<double>(s.store_entries_start)});
     stats.push_back(std::move(s));
+  }
+  {
+    std::error_code ec;
+    std::filesystem::remove_all(dir, ec);
   }
 
   std::uint64_t evictions = 0, warm = 0, flushes = 0, flush_failures = 0,
-                mismatches = 0;
+                mismatches = 0, checks = 0, check_failures = 0;
   std::size_t max_live = 0, end_live = 0, store_entries = 0;
-  for (const auto& s : stats) {
+  // Restart aggregates cover reps >= 1 only: those Runtimes were built
+  // against an already-populated store, so their start-of-rep reload count
+  // and warm offers measure knowledge crossing a process boundary.
+  std::uint64_t restart_warm = 0;
+  std::size_t restart_entries_min = inputs.size() + 1;
+  std::uint64_t restart_mismatches = 0;
+  for (std::size_t i = 0; i < stats.size(); ++i) {
+    const RepStats& s = stats[i];
     evictions += s.evictions;
     warm += s.warm_offers;
     flushes += s.flushes;
     flush_failures += s.flush_failures;
     mismatches += s.mismatches;
+    checks += s.checks_run;
+    check_failures += s.check_failures;
     max_live = std::max(max_live, s.max_live);
     end_live = std::max(end_live, s.end_live);
     store_entries = std::max(store_entries, s.store_entries);
+    if (i >= 1) {
+      restart_warm += s.warm_offers;
+      restart_entries_min =
+          std::min(restart_entries_min, s.store_entries_start);
+      restart_mismatches += s.mismatches;
+    }
   }
   // Bounded: never more than cap + one in-flight creation per client
   // mid-run, and within the cap once the run quiesces.
@@ -288,11 +327,25 @@ ExperimentResult run_serving(RunContext& ctx) {
   res.metric("store_flush_failures", static_cast<double>(flush_failures));
   res.metric("store_entries_end", static_cast<double>(store_entries));
   res.metric("sanity_mismatches", static_cast<double>(mismatches));
+  res.metric("restart_reps", reps - 1);
+  res.metric("restart_store_entries_min",
+             static_cast<double>(restart_entries_min));
+  res.metric("restart_warm_offers", static_cast<double>(restart_warm));
+  res.metric("restart_mismatches", static_cast<double>(restart_mismatches));
+  res.metric("checks_run", static_cast<double>(checks));
+  res.metric("check_failures", static_cast<double>(check_failures));
   res.note("Throughput is the median across reps; latency quantiles come "
            "from one log-linear histogram (~6% bucket error) merged across "
-           "all clients and reps. Each rep uses a fresh Runtime and a "
-           "fresh store directory, so warm_reregistrations counts "
-           "evicted-then-revisited sites, not cross-rep reloads.");
+           "all clients and reps. All reps share one store directory: each "
+           "rep constructs a fresh Runtime, so every rep after the first "
+           "is a process restart that must reload the sharded store "
+           "(restart_store_entries_min counts decisions present at "
+           "construction) and warm-start returning sites "
+           "(restart_warm_offers) with zero restart_mismatches.");
+  res.note("Every submission runs the in-flight reduction checker at "
+           "sample rate 0.05 (checks_run counts them); the reported "
+           "throughput and latency therefore include the checking tax, "
+           "and check_failures must stay zero on healthy hardware.");
   res.note("site_table_bounded requires max_live_sites <= site_cap + "
            "client_threads while clients run (transient overshoot is one "
            "in-flight creation per client) and end_live_sites <= site_cap "
@@ -316,8 +369,11 @@ void register_serving_experiments(ExperimentRegistry& r) {
          .description =
              "Many client threads submit a churning mix of thousands of "
              "randomized sites through one Runtime with a bounded site "
-             "table and sharded async-persisted decision cache; reports "
-             "sustained throughput and p50/p99 invocation latency.",
+             "table and sharded async-persisted decision cache, with "
+             "in-flight reduction checking sampled on every submission; "
+             "later reps restart against the same store in a fresh "
+             "Runtime. Reports sustained throughput and p50/p99 "
+             "invocation latency.",
          .default_scale = 1.0,
          .run = run_serving});
 }

@@ -40,6 +40,7 @@ ExperimentRegistry& builtin_experiments() {
     register_runtime_experiments(*r);
     register_phase_drift_experiments(*r);
     register_serving_experiments(*r);
+    register_checking_experiments(*r);
     return r;
   }();
   return *registry;

@@ -66,5 +66,6 @@ void register_overhead_experiments(ExperimentRegistry& r);
 void register_runtime_experiments(ExperimentRegistry& r);
 void register_phase_drift_experiments(ExperimentRegistry& r);
 void register_serving_experiments(ExperimentRegistry& r);
+void register_checking_experiments(ExperimentRegistry& r);
 
 }  // namespace sapp::repro

@@ -25,8 +25,14 @@ class DirectArray final : public SpecArray {
 /// sets the validation phase needs.
 class BlockArray final : public SpecArray {
  public:
-  explicit BlockArray(std::span<const double> committed)
-      : committed_(committed) {}
+  /// `sampled` (when non-null) marks the elements whose pending state is
+  /// mirrored into a shadow ledger for the pre-commit check. The shadow
+  /// repeats the primary updates in identical program order on the same
+  /// types, so an uncorrupted block matches its shadow bitwise and the
+  /// comparison needs no tolerance.
+  BlockArray(std::span<const double> committed,
+             const std::vector<std::uint8_t>* sampled)
+      : committed_(committed), sampled_(sampled) {}
 
   double read(std::uint32_t e) override {
     if (auto it = written_.find(e); it != written_.end()) {
@@ -42,13 +48,56 @@ class BlockArray final : public SpecArray {
   void write(std::uint32_t e, double v) override {
     written_[e] = v;
     red_.erase(e);  // write kills pending accumulation
+    if (watched(e)) {
+      shadow_written_[e] = v;
+      shadow_red_.erase(e);
+    }
   }
 
   void reduce_add(std::uint32_t e, double v) override {
     if (auto it = written_.find(e); it != written_.end()) {
       it->second += v;  // local to the block, not a cross-block reduction
+      if (watched(e)) shadow_written_[e] += v;
     } else {
       red_[e] += v;
+      if (watched(e)) shadow_red_[e] += v;
+    }
+  }
+
+  /// Pre-commit check: every watched pending value must agree with its
+  /// shadow, in both directions (a corruption that moved or dropped an
+  /// entry is caught by the count comparison).
+  [[nodiscard]] bool shadow_matches() const {
+    if (sampled_ == nullptr) return true;
+    std::size_t watched_writes = 0;
+    for (const auto& [e, v] : written_) {
+      if (!watched(e)) continue;
+      ++watched_writes;
+      const auto it = shadow_written_.find(e);
+      if (it == shadow_written_.end() || !(it->second == v)) return false;
+    }
+    if (watched_writes != shadow_written_.size()) return false;
+    std::size_t watched_reds = 0;
+    for (const auto& [e, v] : red_) {
+      if (!watched(e)) continue;
+      ++watched_reds;
+      const auto it = shadow_red_.find(e);
+      if (it == shadow_red_.end() || !(it->second == v)) return false;
+    }
+    return watched_reds == shadow_red_.size();
+  }
+
+  /// Expose the pending cells so the fault injector can corrupt one
+  /// speculative value between execution and validation.
+  void pending_cells(std::vector<double*>& cells,
+                     std::vector<std::uint32_t>& elements) {
+    for (auto& [e, v] : written_) {
+      cells.push_back(&v);
+      elements.push_back(e);
+    }
+    for (auto& [e, v] : red_) {
+      cells.push_back(&v);
+      elements.push_back(e);
     }
   }
 
@@ -75,9 +124,16 @@ class BlockArray final : public SpecArray {
   }
 
  private:
+  [[nodiscard]] bool watched(std::uint32_t e) const {
+    return sampled_ != nullptr && (*sampled_)[e] != 0;
+  }
+
   std::span<const double> committed_;
+  const std::vector<std::uint8_t>* sampled_ = nullptr;
   std::unordered_map<std::uint32_t, double> written_;
   std::unordered_map<std::uint32_t, double> red_;
+  std::unordered_map<std::uint32_t, double> shadow_written_;
+  std::unordered_map<std::uint32_t, double> shadow_red_;
   std::unordered_set<std::uint32_t> exposed_reads_;
 };
 
@@ -95,6 +151,22 @@ RlrpdStats rlrpd_execute(std::size_t n, const SpecLoopBody& body,
   RlrpdStats stats;
   const unsigned P = pool.size();
   std::size_t start = 0;
+
+  // Element-sampling bitmap of the in-flight commit check, fixed for the
+  // whole execution: a corrupted pending value on a sampled element is
+  // detected with certainty, on an unsampled one never — exactly the
+  // checker's per-element detection bound.
+  std::vector<std::uint8_t> sampled;
+  const std::vector<std::uint8_t>* sampled_ptr = nullptr;
+  if (cfg.check.enabled) {
+    sampled.resize(data.size());
+    for (std::size_t e = 0; e < data.size(); ++e)
+      sampled[e] = ReductionChecker::slot_sampled(
+                       cfg.check.seed, cfg.check.sample_rate, e)
+                       ? 1
+                       : 0;
+    sampled_ptr = &sampled;
+  }
 
   while (start < n) {
     if (cfg.max_rounds != 0 && stats.rounds >= cfg.max_rounds) {
@@ -115,7 +187,8 @@ RlrpdStats rlrpd_execute(std::size_t n, const SpecLoopBody& body,
     std::vector<BlockArray> arrs;
     arrs.reserve(blocks);
     for (unsigned b = 0; b < blocks; ++b)
-      arrs.emplace_back(std::span<const double>(data.data(), data.size()));
+      arrs.emplace_back(std::span<const double>(data.data(), data.size()),
+                        sampled_ptr);
     std::vector<Range> ranges(blocks);
     pool.run([&](unsigned tid) {
       if (tid >= blocks) return;
@@ -125,11 +198,33 @@ RlrpdStats rlrpd_execute(std::size_t n, const SpecLoopBody& body,
         body(i, arrs[tid]);
     });
 
-    // --- Validation: earliest block whose exposed reads intersect the
-    // writes/reductions of any earlier block in this round.
+    // --- Fault injection (tests and sapp_repro checking only): corrupt
+    // one pending speculative value before validation sees it.
+    if (cfg.fault_injector != nullptr) {
+      std::vector<double*> cells;
+      std::vector<std::uint32_t> elements;
+      for (unsigned b = 0; b < blocks; ++b)
+        arrs[b].pending_cells(cells, elements);
+      cfg.fault_injector->corrupt_indirect(FaultSite::kSpecCommit, cells,
+                                           elements);
+    }
+
+    // --- Validation: earliest block whose pending state fails the shadow
+    // check or whose exposed reads intersect the writes/reductions of any
+    // earlier block in this round. A failed check re-uses the
+    // mis-speculation machinery: the correct prefix commits, the corrupted
+    // block (and everything after it) re-executes.
     std::unordered_set<std::uint32_t> defined;
     unsigned fail_block = blocks;
     for (unsigned b = 0; b < blocks; ++b) {
+      if (sampled_ptr != nullptr) {
+        ++stats.checked_blocks;
+        if (!arrs[b].shadow_matches()) {
+          ++stats.check_failures;
+          fail_block = b;
+          break;
+        }
+      }
       if (b > 0) {
         bool conflict = false;
         for (std::uint32_t e : arrs[b].exposed_reads())

@@ -22,6 +22,8 @@
 #include <unordered_set>
 #include <vector>
 
+#include "check/checker.hpp"
+#include "check/fault_injector.hpp"
 #include "common/thread_pool.hpp"
 
 namespace sapp {
@@ -50,10 +52,21 @@ struct RlrpdStats {
   std::size_t committed = 0;        ///< iterations committed (== n on success)
   std::size_t reexecuted = 0;       ///< speculative iterations thrown away
   bool success = true;              ///< false only if max_rounds was hit
+  std::size_t checked_blocks = 0;   ///< blocks shadow-verified (check.enabled)
+  unsigned check_failures = 0;      ///< blocks rolled back on a failed check
 };
 
 struct RlrpdConfig {
   unsigned max_rounds = 0;  ///< 0 = unlimited (termination is guaranteed)
+  /// In-flight commit checking: each block mirrors its pending writes and
+  /// reductions for the sampled elements into a shadow ledger (identical
+  /// arithmetic, so the comparison is exact); validation refuses to commit
+  /// a block whose pending state disagrees with its shadow and rolls it
+  /// back through the ordinary mis-speculation path (docs/checking.md).
+  CheckerOptions check{};
+  /// Test hook: corrupts one pending speculative value (FaultSite::
+  /// kSpecCommit) between block execution and validation.
+  FaultInjector* fault_injector = nullptr;
 };
 
 /// Execute `body` for iterations [0, n) against `data` with R-LRPD

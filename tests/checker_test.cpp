@@ -1,0 +1,310 @@
+// Property tests of the in-flight probabilistic reduction checker
+// (src/check, docs/checking.md).
+//
+// Three properties pin the design:
+//   * no false positives — across the full 240-case differential matrix
+//     (patterns x operators x thread counts), a correct scheme execution
+//     never fails the check, at sample_rate 1.0 and 0.25;
+//   * detection matches the analytical bound — a single-element corruption
+//     is detected iff its element is sampled (exact, per trial), so the
+//     aggregate detection rate is binomially distributed around the
+//     sampled fraction; N-element corruptions follow 1-(1-s)^N;
+//   * order independence — the input checksum is bitwise identical across
+//     thread counts and combine orders (serial pass vs. sharded passes of
+//     different widths).
+// Plus the wiring: a detected corruption rolls the AdaptiveReducer back to
+// the trusted serial result and demotes the decision.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "check/checker.hpp"
+#include "check/fault_injector.hpp"
+#include "common/rng.hpp"
+#include "core/adaptive.hpp"
+#include "differential_cases.hpp"
+#include "reductions/scheme_atomic.hpp"
+#include "reductions/scheme_rep.hpp"
+#include "workloads/workload.hpp"
+
+namespace sapp {
+namespace {
+
+using difftest::CaseParams;
+using difftest::OpKind;
+
+CheckOp check_op(OpKind op) {
+  switch (op) {
+    case OpKind::kSum: return CheckOp::kSum;
+    case OpKind::kMax: return CheckOp::kMax;
+    case OpKind::kMin: return CheckOp::kMin;
+  }
+  return CheckOp::kSum;
+}
+
+template <typename Op>
+std::vector<std::unique_ptr<Scheme>> probe_schemes() {
+  // One deterministic-fold scheme and one order-nondeterministic scheme:
+  // between them they produce every legal kind of reassociation the
+  // tolerance has to absorb.
+  std::vector<std::unique_ptr<Scheme>> v;
+  v.push_back(std::make_unique<RepScheme<Op>>());
+  v.push_back(std::make_unique<AtomicScheme<Op>>());
+  return v;
+}
+
+template <typename Op>
+void run_case_checked(const CaseParams& c, const ReductionInput& in,
+                      ThreadPool& pool, int index, double rate,
+                      std::size_t& failures) {
+  for (auto& scheme : probe_schemes<Op>()) {
+    CheckerOptions co;
+    co.enabled = true;
+    co.sample_rate = rate;
+    ReductionChecker checker(co, check_op(c.op));
+    std::vector<double> out(in.pattern.dim, Op::neutral());
+    checker.begin(in, out, &pool);
+    (void)scheme->run(in, pool, out);
+    const CheckReport rep = checker.verify(out);
+    if (!rep.passed) {
+      ++failures;
+      ADD_FAILURE() << "false positive: case " << index << " scheme "
+                    << scheme->name() << " op " << difftest::op_name(c.op)
+                    << " rate " << rate << " slot " << rep.first_failed_slot
+                    << " excess " << rep.max_rel_excess;
+    }
+  }
+}
+
+// --- Property 1: zero false positives over the differential matrix. ----
+
+TEST(Checker, NoFalsePositivesAcrossDifferentialMatrix) {
+  constexpr int kCases = 240;
+  std::map<unsigned, std::unique_ptr<ThreadPool>> pools;
+  std::size_t failures = 0;
+  for (int i = 0; i < kCases; ++i) {
+    const CaseParams c = difftest::derive_case(i);
+    const ReductionInput in = difftest::build_input(c, i);
+    auto& pool = pools[c.threads];
+    if (!pool) pool = std::make_unique<ThreadPool>(c.threads);
+    // Rate 1.0 checks every element; 0.25 exercises the sampled path.
+    const double rate = i % 2 == 0 ? 1.0 : 0.25;
+    switch (c.op) {
+      case OpKind::kSum:
+        run_case_checked<SumOp<double>>(c, in, *pool, i, rate, failures);
+        break;
+      case OpKind::kMax:
+        run_case_checked<MaxOp<double>>(c, in, *pool, i, rate, failures);
+        break;
+      case OpKind::kMin:
+        run_case_checked<MinOp<double>>(c, in, *pool, i, rate, failures);
+        break;
+    }
+  }
+  EXPECT_EQ(failures, 0u);
+}
+
+// --- Property 2: detection matches the analytical bound. ---------------
+
+ReductionInput detection_input() {
+  workloads::SynthParams p;
+  p.dim = 1200;
+  p.distinct = 1200;
+  p.iterations = 4000;
+  p.refs_per_iter = 3;
+  p.seed = 424242;
+  return workloads::make_synthetic(p);
+}
+
+/// One verify() per trial against a pre-corrupted copy of a correct
+/// output: detection must agree with the sampling predicate per trial, and
+/// the aggregate rate must sit inside the binomial envelope around the
+/// exact sampled fraction.
+void detection_trials(double rate, int corruptions_per_trial, int trials) {
+  const ReductionInput in = detection_input();
+  ThreadPool pool(4);
+  CheckerOptions co;
+  co.enabled = true;
+  co.sample_rate = rate;
+  ReductionChecker checker(co);
+  std::vector<double> correct(in.pattern.dim, 0.0);
+  checker.begin(in, correct, &pool);
+  RepScheme<SumOp<double>> scheme;
+  (void)scheme.run(in, pool, correct);
+  ASSERT_TRUE(checker.verify(correct).passed);
+
+  const std::size_t dim = in.pattern.dim;
+  const double s =
+      static_cast<double>(ReductionChecker::count_sampled(co.seed, rate, dim)) /
+      static_cast<double>(dim);
+  Rng rng(0xFA017u + static_cast<std::uint64_t>(corruptions_per_trial));
+  int detected = 0;
+  double expected_p_sum = 0.0;
+  std::vector<double> out;
+  for (int t = 0; t < trials; ++t) {
+    out = correct;
+    std::set<std::uint64_t> victims;
+    while (victims.size() < static_cast<std::size_t>(corruptions_per_trial))
+      victims.insert(rng.below(dim));
+    bool predicted = false;
+    for (const std::uint64_t e : victims) {
+      out[e] = corrupt_value(out[e]);
+      predicted |= ReductionChecker::slot_sampled(co.seed, rate, e);
+    }
+    const bool got = !checker.verify(out).passed;
+    ASSERT_EQ(got, predicted)
+        << "trial " << t << ": detection must equal 'any victim sampled'";
+    detected += got ? 1 : 0;
+    expected_p_sum += predicted ? 1.0 : 0.0;
+  }
+  // Aggregate: binomial around p = 1-(1-s)^N (victims ~ uniform without
+  // replacement; the envelope is wide enough for the slight dependence).
+  const double p = 1.0 - std::pow(1.0 - s, corruptions_per_trial);
+  const double sigma = std::sqrt(p * (1.0 - p) / trials);
+  EXPECT_NEAR(static_cast<double>(detected) / trials, p, 4.0 * sigma + 1e-12)
+      << "rate " << rate << " N " << corruptions_per_trial;
+}
+
+TEST(Checker, SingleCorruptionDetectionMatchesSampleRate) {
+  detection_trials(0.25, 1, 400);
+  detection_trials(0.5, 1, 400);
+}
+
+TEST(Checker, MultiCorruptionDetectionFollowsOneMinusMissPower) {
+  detection_trials(0.25, 3, 400);
+}
+
+TEST(Checker, FullRateDetectsEveryCorruption) {
+  const ReductionInput in = detection_input();
+  ThreadPool pool(2);
+  CheckerOptions co;
+  co.enabled = true;
+  co.sample_rate = 1.0;
+  ReductionChecker checker(co);
+  std::vector<double> out(in.pattern.dim, 0.0);
+  checker.begin(in, out, &pool);
+  RepScheme<SumOp<double>> scheme;
+  (void)scheme.run(in, pool, out);
+  Rng rng(99);
+  for (int t = 0; t < 50; ++t) {
+    std::vector<double> bad = out;
+    const auto victim = rng.below(bad.size());
+    bad[victim] = corrupt_value(bad[victim]);
+    EXPECT_FALSE(checker.verify(bad).passed) << "trial " << t;
+  }
+}
+
+// --- Property 3: checksum order independence. --------------------------
+
+TEST(Checker, ChecksumBitwiseEqualAcrossThreadCountsAndCombineOrders) {
+  const ReductionInput in = detection_input();
+  for (const double rate : {0.25, 1.0}) {
+    CheckerOptions co;
+    co.enabled = true;
+    co.sample_rate = rate;
+    // Serial pass is the reference combine order.
+    ReductionChecker serial(co);
+    std::vector<double> out(in.pattern.dim, 0.0);
+    serial.begin(in, out, nullptr);
+    for (const unsigned threads : {1u, 2u, 3u, 8u}) {
+      ThreadPool pool(threads);
+      ReductionChecker sharded(co);
+      sharded.begin(in, out, &pool);
+      // Different pool widths shard (and hence associate) the fold
+      // differently; the integer state makes them all bitwise equal.
+      EXPECT_EQ(sharded.input_checksum(), serial.input_checksum())
+          << "threads " << threads << " rate " << rate;
+    }
+  }
+}
+
+// --- Edge cases and the fault-injector contract. -----------------------
+
+TEST(Checker, EmptyAndUnsampledInputsPass) {
+  CheckerOptions co;
+  co.enabled = true;
+  co.sample_rate = 0.0;  // nothing sampled
+  ReductionInput in = detection_input();
+  ReductionChecker none(co);
+  std::vector<double> out(in.pattern.dim, 1.0);
+  none.begin(in, out, nullptr);
+  EXPECT_EQ(none.slots_sampled(), 0u);
+  EXPECT_TRUE(none.verify(out).passed);
+
+  // Zero iterations: every sampled slot has zero contributions and the
+  // untouched output must pass.
+  in.pattern.refs = Csr({0}, {});
+  in.values.clear();
+  co.sample_rate = 1.0;
+  ReductionChecker empty(co);
+  empty.begin(in, out, nullptr);
+  const CheckReport rep = empty.verify(out);
+  EXPECT_TRUE(rep.passed);
+  EXPECT_EQ(rep.contributions, 0u);
+}
+
+TEST(FaultInjector, FiresExactlyOnceAndRecordsTheEvent) {
+  FaultInjector inj;
+  std::vector<double> data(16, 1.0);
+  EXPECT_FALSE(inj.corrupt_one(FaultSite::kSchemeCombine, data))
+      << "unarmed injector must be a no-op";
+  inj.arm(FaultSite::kSchemeCombine, 7, 1);
+  EXPECT_FALSE(inj.corrupt_one(FaultSite::kSpecCommit, data))
+      << "wrong site must not consume the shot";
+  EXPECT_TRUE(inj.corrupt_one(FaultSite::kSchemeCombine, data));
+  EXPECT_FALSE(inj.corrupt_one(FaultSite::kSchemeCombine, data))
+      << "one shot means one corruption";
+  ASSERT_EQ(inj.injected(), 1u);
+  const auto ev = inj.events()[0];
+  EXPECT_EQ(ev.site, FaultSite::kSchemeCombine);
+  EXPECT_EQ(ev.original, 1.0);
+  EXPECT_EQ(ev.corrupted, data[ev.element]);
+  EXPECT_GE(std::abs(ev.corrupted - ev.original), 1.0)
+      << "corruption must clear every legal rounding tolerance";
+}
+
+// --- Wiring: rollback + demotion in the adaptive layer. ----------------
+
+TEST(Checker, AdaptiveReducerRollsBackAndDemotesOnDetectedCorruption) {
+  const ReductionInput in = detection_input();
+  std::vector<double> ref(in.pattern.dim, 0.0);
+  run_sequential(in, ref);
+
+  ThreadPool pool(4);
+  FaultInjector inj;
+  AdaptiveOptions opt;
+  opt.check.enabled = true;
+  opt.check.sample_rate = 1.0;
+  opt.fault_injector = &inj;
+  AdaptiveReducer red(pool, MachineCoeffs::defaults(), opt);
+
+  std::vector<double> out(in.pattern.dim, 0.0);
+  (void)red.invoke(in, out);  // clean first invocation
+  EXPECT_EQ(red.check_failures(), 0u);
+  const unsigned rechar_before = red.recharacterizations();
+
+  inj.arm(FaultSite::kSchemeCombine, 1234, 1);
+  std::fill(out.begin(), out.end(), 0.0);
+  (void)red.invoke(in, out);
+  EXPECT_EQ(inj.injected(), 1u);
+  EXPECT_EQ(red.check_failures(), 1u);
+  // Recovery: the shipped output is the trusted serial result, bitwise.
+  for (std::size_t e = 0; e < ref.size(); ++e)
+    ASSERT_EQ(out[e], ref[e]) << "element " << e;
+  // Demotion: correctness evidence forced a re-characterization.
+  EXPECT_EQ(red.recharacterizations(), rechar_before + 1);
+
+  // And the failure never recurs once the injector is spent.
+  std::fill(out.begin(), out.end(), 0.0);
+  (void)red.invoke(in, out);
+  EXPECT_EQ(red.check_failures(), 1u);
+  EXPECT_GE(red.checks_run(), 3u);
+}
+
+}  // namespace
+}  // namespace sapp

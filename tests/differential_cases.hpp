@@ -1,0 +1,97 @@
+// Shared randomized-case generator of the differential conformance suites.
+//
+// The 240-case (pattern x operator x thread-count) sweep was born in
+// scheme_differential_test.cpp; the in-flight checker reuses the identical
+// case set for its zero-false-positive property (a checker that flags a
+// legal reassociation anywhere in this matrix would also flag it in
+// production). Every case is reproducible from its index alone.
+#pragma once
+
+#include <cstdlib>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "reductions/access_pattern.hpp"
+
+namespace sapp::difftest {
+
+enum class OpKind { kSum, kMax, kMin };
+
+inline const char* op_name(OpKind op) {
+  switch (op) {
+    case OpKind::kSum: return "sum";
+    case OpKind::kMax: return "max";
+    case OpKind::kMin: return "min";
+  }
+  return "?";
+}
+
+struct CaseParams {
+  std::size_t dim = 0;
+  std::size_t iterations = 0;
+  unsigned max_refs_per_iter = 0;
+  double theta = 0.0;
+  unsigned body_flops = 0;
+  bool lw_legal = true;
+  unsigned threads = 1;
+  OpKind op = OpKind::kSum;
+};
+
+/// SAPP_THREADS, so the CI thread matrix genuinely varies these suites.
+inline unsigned env_threads() {
+  if (const char* s = std::getenv("SAPP_THREADS"); s != nullptr) {
+    const int v = std::atoi(s);
+    if (v >= 1 && v <= 64) return static_cast<unsigned>(v);
+  }
+  return 2;
+}
+
+/// Deterministic case derivation: every case is reproducible from its
+/// index alone (failures print the index).
+inline CaseParams derive_case(int i) {
+  Rng rng(0xD1FFu + static_cast<std::uint64_t>(i) * 7919u);
+  CaseParams c;
+  c.dim = 1 + static_cast<std::size_t>(rng.uniform(0.0, 1.0) *
+                                       rng.uniform(0.0, 1.0) * 4000.0);
+  // One case in ~8 is degenerate: zero iterations.
+  c.iterations = (i % 8 == 7)
+                     ? 0
+                     : 1 + static_cast<std::size_t>(
+                               rng.uniform(0.0, 1.0) * 2500.0);
+  c.max_refs_per_iter = static_cast<unsigned>(rng.uniform(0.0, 6.99));
+  // The op/theta/thread axes are drawn independently from the per-case
+  // Rng — correlated moduli (i % 3, i % 6, ...) would lock the axes
+  // together and leave most of the claimed cross-product unexercised.
+  const double thetas[] = {0.0, 0.6, 1.2};
+  c.theta = thetas[static_cast<int>(rng.uniform(0.0, 2.99))];
+  c.body_flops = static_cast<unsigned>(rng.uniform(0.0, 3.99));
+  c.lw_legal = rng.uniform(0.0, 1.0) < 0.8;
+  const unsigned pool_sizes[] = {1, 2, 3, 4, 8, env_threads()};
+  c.threads = pool_sizes[static_cast<int>(rng.uniform(0.0, 5.99))];
+  c.op = static_cast<OpKind>(static_cast<int>(rng.uniform(0.0, 2.99)));
+  return c;
+}
+
+inline ReductionInput build_input(const CaseParams& c, int i) {
+  Rng rng(0xABCDu + static_cast<std::uint64_t>(i) * 104729u);
+  std::vector<std::uint64_t> ptr{0};
+  std::vector<std::uint32_t> idx;
+  for (std::size_t it = 0; it < c.iterations; ++it) {
+    // Jittered per-iteration reference count, including empty iterations.
+    const auto nrefs = static_cast<unsigned>(
+        rng.uniform(0.0, static_cast<double>(c.max_refs_per_iter) + 0.99));
+    for (unsigned r = 0; r < nrefs; ++r)
+      idx.push_back(static_cast<std::uint32_t>(rng.zipf(c.dim, c.theta)));
+    ptr.push_back(idx.size());
+  }
+  ReductionInput in;
+  in.pattern.dim = c.dim;
+  in.pattern.refs = Csr(std::move(ptr), std::move(idx));
+  in.pattern.body_flops = c.body_flops;
+  in.pattern.iteration_replication_legal = c.lw_legal;
+  in.values.resize(in.pattern.num_refs());
+  for (auto& v : in.values) v = rng.uniform(-2.0, 2.0);
+  return in;
+}
+
+}  // namespace sapp::difftest

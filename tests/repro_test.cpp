@@ -139,6 +139,7 @@ TEST(ExperimentRegistry, BuiltinExperimentsAreStable) {
       "ablation_flex_occupancy", "spec_rlrpd",
       "overhead",                "adaptive_sites",
       "phase_drift",             "serving",
+      "checking",
   };
   const auto& reg = builtin_experiments();
   ASSERT_GE(reg.size(), 9u);
@@ -399,6 +400,70 @@ TEST(ReproServing, TinyRunReportsGatedMetricsAndInvariants) {
   EXPECT_GT(num("warm_reregistrations"), 0.0);
   EXPECT_GT(num("store_flushes"), 0.0);
   EXPECT_EQ(num("store_flush_failures"), 0.0);
+  // Restart drill: every rep past the first reloads the shared sharded
+  // store in a fresh Runtime — decisions must be present at construction,
+  // returning sites must warm-start, and results must stay correct.
+  EXPECT_GE(num("restart_reps"), 1.0);
+  EXPECT_GT(num("restart_store_entries_min"), 0.0);
+  EXPECT_LE(num("restart_store_entries_min"), num("sites_distinct"));
+  EXPECT_GT(num("restart_warm_offers"), 0.0);
+  EXPECT_EQ(num("restart_mismatches"), 0.0);
+  // In-flight checking ran on every submission and never fired.
+  EXPECT_GE(num("checks_run"), num("requests"));
+  EXPECT_EQ(num("check_failures"), 0.0);
+}
+
+// ------------------------------------------ checking experiment schema
+
+// Deterministic tiny smoke of the fault-injection experiment: detection
+// invariants hold at any scale (the overhead numbers are only gated at
+// full fig3 scale in CI — a tiny run's denominators are noise).
+TEST(ReproChecking, TinyRunDetectsEveryFaultAtFullRate) {
+  RunOptions opt;
+  opt.tiny = true;
+  opt.threads = 2;
+  RunContext ctx(opt);
+  const Experiment& exp = builtin_experiments().find("checking");
+  const ExperimentResult result = exp.run(ctx);
+
+  RunMeta meta;
+  meta.experiment = exp.name;
+  meta.title = exp.title;
+  meta.paper_ref = exp.paper_ref;
+  meta.scale = ctx.scale(exp.default_scale);
+  meta.threads = ctx.threads();
+  meta.reps = ctx.reps();
+  meta.warmup = ctx.warmup();
+  meta.tiny = true;
+  const JsonValue doc = result_to_json(meta, HostInfo::current(), result);
+  EXPECT_EQ(validate_result_json(doc), "");
+
+  const auto& tables = doc.find("tables")->items();
+  ASSERT_EQ(tables.size(), 2u);
+  EXPECT_EQ(tables[0].find("name")->as_string(), "checker_overhead");
+  EXPECT_EQ(tables[1].find("name")->as_string(), "fault_detection");
+
+  const JsonValue* metrics = doc.find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  const auto num = [&](const char* name) {
+    const JsonValue* v = metrics->find(name);
+    EXPECT_NE(v, nullptr) << name;
+    EXPECT_TRUE(v != nullptr && v->is_number()) << name;
+    return v != nullptr && v->is_number() ? v->as_number() : -1.0;
+  };
+  // The CI repro-smoke gate reads exactly these detection metrics.
+  EXPECT_EQ(num("detection_rate_full_min"), 1.0);
+  EXPECT_EQ(num("detection_trial_agreement"), 1.0);
+  EXPECT_EQ(num("detection_within_tolerance"), 1.0);
+  EXPECT_EQ(num("recovery_mismatches"), 0.0);
+  EXPECT_EQ(num("false_positives"), 0.0);
+  EXPECT_GT(num("trials_total"), 0.0);
+  EXPECT_EQ(num("injected_total"), num("trials_total"));
+  // Overhead metrics must exist and be finite; their values are gated in
+  // CI at full scale only.
+  EXPECT_GT(num("checker_overhead_full_pct"), -100.0);
+  EXPECT_GT(num("checker_overhead_pct"), -100.0);
+  EXPECT_GT(num("checker_overhead_quarter_pct"), -100.0);
 }
 
 }  // namespace

@@ -9,7 +9,10 @@
 // table.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <chrono>
+#include <filesystem>
 #include <string>
 #include <thread>
 #include <vector>
@@ -164,6 +167,79 @@ TEST(RuntimeEviction, TableStaysBoundedThroughSustainedChurn) {
   EXPECT_GE(rt.evictions(), 40u * 3u - 8u);
   // Bounded table, unbounded knowledge: every site's decision is held.
   EXPECT_EQ(rt.warm_entries(), 40u);
+}
+
+// Process-restart flow (the serving harness measures the same thing at
+// scale): a second Runtime pointed at the first one's decision-store
+// directory must warm-start every returning site from the reloaded
+// sharded store — warm offers counted, zero re-characterizations, results
+// identical — with eviction churn in between, so the knowledge crossing
+// the restart went through evict → persist → reload, not live memory.
+TEST(RuntimeEviction, RestartReloadsShardedStoreAndWarmStarts) {
+  namespace fs = std::filesystem;
+  const std::string dir =
+      (fs::temp_directory_path() /
+       ("sapp_evict_restart." + std::to_string(::getpid())))
+          .string();
+  fs::remove_all(dir);
+
+  constexpr int kSites = 6;
+  std::vector<ReductionInput> in;
+  std::vector<std::vector<double>> ref;
+  std::vector<SchemeKind> learned(kSites);
+  for (int v = 0; v < kSites; ++v) {
+    in.push_back(site_input(v));
+    ref.emplace_back(in.back().pattern.dim, 0.0);
+    run_sequential(in.back(), ref.back());
+  }
+
+  RuntimeOptions o = quiet_options();
+  o.decision_cache_dir = dir;
+  o.max_sites = 3;  // smaller than kSites: decisions cross via the store
+  {
+    Runtime rt(o);
+    std::vector<double> out;
+    for (int round = 0; round < 3; ++round)
+      for (int v = 0; v < kSites; ++v) {
+        out.assign(in[v].pattern.dim, 0.0);
+        (void)rt.submit(in[v], out);
+      }
+    // Record what each site settled on: live table first, else the
+    // persisted snapshot of an already-evicted site.
+    const DecisionCache persisted = rt.snapshot_decisions();
+    const DecisionCache stored = rt.persisted_decisions();
+    for (int v = 0; v < kSites; ++v) {
+      const std::string& id = in[v].pattern.loop_id;
+      const CachedDecision* d = persisted.find(id);
+      if (d == nullptr) d = stored.find(id);
+      ASSERT_NE(d, nullptr) << "site " << v << " left no decision";
+      learned[v] = d->scheme;
+    }
+    // Destructor drains the maintenance thread and flushes every shard.
+  }
+
+  Runtime rt2(o);
+  EXPECT_EQ(rt2.warm_entries(), static_cast<std::size_t>(kSites))
+      << "the fresh Runtime must reload every persisted decision";
+  EXPECT_EQ(rt2.site_count(), 0u);
+  std::vector<double> out;
+  for (int v = 0; v < kSites; ++v) {
+    out.assign(in[v].pattern.dim, 0.0);
+    (void)rt2.submit(in[v], out);
+    for (std::size_t e = 0; e < ref[v].size(); ++e)
+      ASSERT_NEAR(out[e], ref[v][e], 1e-9 + 1e-9 * std::abs(ref[v][e]))
+          << "site " << v << " element " << e << " across restart";
+    // Inspect while the site is guaranteed live (it was just submitted;
+    // later creations may evict it again under the small cap).
+    const auto& site = rt2.site(in[v].pattern.loop_id);
+    EXPECT_TRUE(site.warm_started()) << "site " << v;
+    EXPECT_EQ(site.recharacterizations(), 0u)
+        << "site " << v << ": a warm start must skip characterization";
+    EXPECT_EQ(site.current(), learned[v]) << "site " << v;
+  }
+  EXPECT_GE(rt2.warm_offers(), static_cast<std::uint64_t>(kSites))
+      << "every returning site found a cached decision";
+  fs::remove_all(dir);
 }
 
 TEST(RuntimeEviction, SweepIsANoOpWithoutCapOrTtl) {

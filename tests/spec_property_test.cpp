@@ -93,6 +93,100 @@ INSTANTIATE_TEST_SUITE_P(
                        ::testing::Values(0.0, 0.05, 0.3)),
     rlrpd_param_name);
 
+// ---------------- checker-forced rollback on a corrupted commit ----------
+
+// A corrupted speculative value must never commit: with the in-flight
+// commit check at sample_rate 1.0 the shadow comparison forces the
+// mis-speculation rollback, the corrupted block re-executes exactly once
+// (the injector is a single shot), and the final array equals the serial
+// reference. Matching values also rule out a double-commit — committing a
+// reduction block twice would double its contributions.
+TEST(RlrpdChecker, CorruptedCommitRollsBackToSequentialResult) {
+  // Reduction-only bodies never mis-speculate on their own, so the shadow
+  // check is provably the only rollback source and the counters are exact.
+  for (int seed = 0; seed < 8; ++seed) {
+    const auto rb = RandomBody::make(static_cast<std::uint64_t>(seed) + 5000,
+                                     600, 80, 0.0, 0.0);
+    std::vector<double> seq(rb.dim, 0.0), par(rb.dim, 0.0);
+    sequential_execute(rb.steps.size(), rb.body(), seq);
+
+    FaultInjector inj;
+    inj.arm(FaultSite::kSpecCommit, static_cast<std::uint64_t>(seed) * 31 + 7,
+            1);
+    RlrpdConfig cfg;
+    cfg.check.enabled = true;
+    cfg.check.sample_rate = 1.0;
+    cfg.fault_injector = &inj;
+    const auto st =
+        rlrpd_execute(rb.steps.size(), rb.body(), par, pool4(), cfg);
+
+    ASSERT_EQ(inj.injected(), 1u) << "seed " << seed;
+    EXPECT_TRUE(st.success);
+    EXPECT_EQ(st.committed, rb.steps.size());
+    EXPECT_GE(st.checked_blocks, 1u);
+    EXPECT_EQ(st.check_failures, 1u)
+        << "seed " << seed
+        << ": every corruption is sampled at rate 1.0, and the spent "
+           "injector cannot fail a later round";
+    EXPECT_EQ(st.rounds, 2u)
+        << "seed " << seed
+        << ": one rollback round, then a clean completion — exactly once";
+    EXPECT_GE(st.reexecuted, 1u)
+        << "seed " << seed << ": the corrupted block must be thrown away";
+    for (std::size_t e = 0; e < rb.dim; ++e)
+      ASSERT_NEAR(seq[e], par[e], 1e-12) << "seed " << seed << " elem " << e;
+  }
+}
+
+// Mixed read/write bodies: a natural mis-speculation can evict the
+// corrupted block before its shadow check runs (the rollback machinery is
+// shared), so only the end state is pinned — serial result, full commit.
+TEST(RlrpdChecker, CorruptedCommitStaysCorrectUnderNaturalConflicts) {
+  for (int seed = 0; seed < 6; ++seed) {
+    const auto rb = RandomBody::make(static_cast<std::uint64_t>(seed) + 7000,
+                                     600, 80, 0.2, 0.2);
+    std::vector<double> seq(rb.dim, 0.0), par(rb.dim, 0.0);
+    sequential_execute(rb.steps.size(), rb.body(), seq);
+    FaultInjector inj;
+    inj.arm(FaultSite::kSpecCommit, static_cast<std::uint64_t>(seed) + 1, 1);
+    RlrpdConfig cfg;
+    cfg.check.enabled = true;
+    cfg.check.sample_rate = 1.0;
+    cfg.fault_injector = &inj;
+    const auto st =
+        rlrpd_execute(rb.steps.size(), rb.body(), par, pool4(), cfg);
+    ASSERT_EQ(inj.injected(), 1u) << "seed " << seed;
+    EXPECT_TRUE(st.success);
+    EXPECT_EQ(st.committed, rb.steps.size());
+    EXPECT_LE(st.check_failures, 1u);
+    for (std::size_t e = 0; e < rb.dim; ++e)
+      ASSERT_NEAR(seq[e], par[e], 1e-12) << "seed " << seed << " elem " << e;
+  }
+}
+
+// Clean runs under the commit check: no false positives, identical result.
+TEST(RlrpdChecker, CleanCheckedRunNeverFailsAndMatchesUnchecked) {
+  for (int seed = 0; seed < 6; ++seed) {
+    const auto rb = RandomBody::make(static_cast<std::uint64_t>(seed) + 9000,
+                                     600, 80, 0.3, 0.3);
+    std::vector<double> plain(rb.dim, 0.0), checked(rb.dim, 0.0);
+    const auto st0 =
+        rlrpd_execute(rb.steps.size(), rb.body(), plain, pool4());
+    RlrpdConfig cfg;
+    cfg.check.enabled = true;
+    cfg.check.sample_rate = 1.0;
+    const auto st1 =
+        rlrpd_execute(rb.steps.size(), rb.body(), checked, pool4(), cfg);
+    EXPECT_EQ(st1.check_failures, 0u) << "seed " << seed;
+    EXPECT_GE(st1.checked_blocks, 1u);
+    EXPECT_EQ(st0.rounds, st1.rounds)
+        << "seed " << seed << ": the check must not change scheduling";
+    // Identical block schedule and identical arithmetic: bitwise equal.
+    for (std::size_t e = 0; e < rb.dim; ++e)
+      ASSERT_EQ(plain[e], checked[e]) << "seed " << seed << " elem " << e;
+  }
+}
+
 // ---------------- LRPD vs a dependence oracle ----------------
 
 // Ground truth: a flow dependence exists iff some iteration reads an
