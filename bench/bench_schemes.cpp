@@ -1,6 +1,12 @@
-// Micro-benchmarks (google-benchmark): per-scheme cost across pattern
-// shapes — the raw material behind the ToolBox cost models.
+// Micro-benchmarks: per-scheme cost across pattern shapes — the raw
+// material behind the ToolBox cost models. Uses Google Benchmark when
+// available; otherwise CMake builds this file against the vendored
+// microbench.hpp timer so the binary still exists on bare toolchains.
+#if defined(SAPP_HAVE_GBENCH)
 #include <benchmark/benchmark.h>
+#else
+#include "microbench.hpp"
+#endif
 
 #include "common/rng.hpp"
 #include "reductions/registry.hpp"

@@ -1,0 +1,216 @@
+// Vendored micro-timer fallback for the Google Benchmark API surface the
+// bench/ binaries actually use. When libbenchmark is absent, CMake builds
+// them against this header instead of skipping them: the BENCHMARK(...)
+// registration macros, State's range-for protocol, Args/ArgsProduct and
+// the per-iteration report all keep working, just with a plain wall-clock
+// timer (no CPU-frequency guards, no statistical repetitions). Numbers
+// from this shim are good for eyeballing relative scheme cost, not for
+// publication — install libbenchmark-dev to get the real harness.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace benchmark {
+
+enum TimeUnit { kNanosecond, kMicrosecond, kMillisecond, kSecond };
+
+template <class T>
+inline void DoNotOptimize(T const& value) {
+#if defined(__GNUC__) || defined(__clang__)
+  asm volatile("" : : "g"(value) : "memory");
+#else
+  volatile const void* sink = &value;
+  (void)sink;
+#endif
+}
+
+class State {
+ public:
+  State(std::vector<std::int64_t> args, std::int64_t target)
+      : args_(std::move(args)), target_(target) {}
+
+  std::int64_t range(std::size_t i = 0) const { return args_.at(i); }
+  std::int64_t iterations() const { return done_; }
+
+  void SkipWithError(const char* msg) {
+    skipped_ = true;
+    error_ = msg;
+    target_ = 0;
+  }
+  void SetItemsProcessed(std::int64_t n) { items_ = n; }
+  void SetLabel(const std::string& label) { label_ = label; }
+
+  // Range-for protocol: `for (auto _ : state)` calls begin() once, then
+  // one `it != end()` check per iteration; each check burns one budgeted
+  // iteration. The timer spans first check to failing check.
+  // Non-trivial ctor + dtor so `for (auto _ : state)` doesn't trip
+  // -Wunused-variable / -Wunused-but-set-variable on the loop variable.
+  struct value_type {
+    value_type() {}
+    ~value_type() {}
+  };
+  struct iterator {
+    State* s;
+    bool operator!=(const iterator&) const { return s->keep_running(); }
+    iterator& operator++() { return *this; }
+    value_type operator*() const { return value_type(); }
+  };
+  iterator begin() {
+    start_ = std::chrono::steady_clock::now();
+    return {this};
+  }
+  iterator end() { return {nullptr}; }
+
+  // Runner-side accessors (not part of the benchmark-body API).
+  bool skipped() const { return skipped_; }
+  const std::string& error() const { return error_; }
+  double elapsed_seconds() const { return elapsed_; }
+  std::int64_t items_processed() const { return items_; }
+  const std::string& label() const { return label_; }
+
+ private:
+  bool keep_running() {
+    if (done_ >= target_) {
+      elapsed_ = std::chrono::duration<double>(
+                     std::chrono::steady_clock::now() - start_)
+                     .count();
+      return false;
+    }
+    ++done_;
+    return true;
+  }
+
+  std::vector<std::int64_t> args_;
+  std::int64_t target_ = 0;
+  std::int64_t done_ = 0;
+  std::int64_t items_ = 0;
+  double elapsed_ = 0.0;
+  bool skipped_ = false;
+  std::string error_;
+  std::string label_;
+  std::chrono::steady_clock::time_point start_{};
+};
+
+namespace internal {
+
+class Benchmark {
+ public:
+  Benchmark(std::string name, void (*fn)(State&))
+      : name_(std::move(name)), fn_(fn) {}
+
+  Benchmark* Args(std::vector<std::int64_t> args) {
+    arg_sets_.push_back(std::move(args));
+    return this;
+  }
+
+  Benchmark* ArgsProduct(std::vector<std::vector<std::int64_t>> lists) {
+    std::vector<std::vector<std::int64_t>> product{{}};
+    for (const auto& list : lists) {
+      std::vector<std::vector<std::int64_t>> next;
+      for (const auto& prefix : product)
+        for (const std::int64_t v : list) {
+          auto row = prefix;
+          row.push_back(v);
+          next.push_back(std::move(row));
+        }
+      product = std::move(next);
+    }
+    for (auto& row : product) arg_sets_.push_back(std::move(row));
+    return this;
+  }
+
+  Benchmark* Unit(TimeUnit unit) {
+    unit_ = unit;
+    return this;
+  }
+
+  void run() const {
+    const auto sets =
+        arg_sets_.empty() ? std::vector<std::vector<std::int64_t>>{{}}
+                          : arg_sets_;
+    for (const auto& args : sets) {
+      std::string id = name_;
+      for (const std::int64_t a : args) id += "/" + std::to_string(a);
+
+      // Calibrate by doubling until the run is long enough to trust the
+      // wall clock; heavy cases finish on the first (single-iteration)
+      // attempt once it alone exceeds the budget.
+      constexpr double kMinSeconds = 0.05;
+      std::int64_t iters = 1;
+      for (;;) {
+        State st(args, iters);
+        fn_(st);
+        if (st.skipped()) {
+          std::printf("%-40s SKIPPED: %s\n", id.c_str(), st.error().c_str());
+          break;
+        }
+        if (st.elapsed_seconds() >= kMinSeconds || iters >= (1 << 24)) {
+          report(id, st);
+          break;
+        }
+        iters *= 2;
+      }
+    }
+  }
+
+ private:
+  void report(const std::string& id, const State& st) const {
+    const double per_iter =
+        st.elapsed_seconds() / static_cast<double>(st.iterations());
+    const char* suffix = "s";
+    double scaled = per_iter;
+    switch (unit_) {
+      case kNanosecond: scaled = per_iter * 1e9; suffix = "ns"; break;
+      case kMicrosecond: scaled = per_iter * 1e6; suffix = "us"; break;
+      case kMillisecond: scaled = per_iter * 1e3; suffix = "ms"; break;
+      case kSecond: break;
+    }
+    std::printf("%-40s %12.4f %s %10lld iters", id.c_str(), scaled, suffix,
+                static_cast<long long>(st.iterations()));
+    if (st.items_processed() > 0)
+      std::printf("  %.3g items/s",
+                  static_cast<double>(st.items_processed()) /
+                      st.elapsed_seconds());
+    if (!st.label().empty()) std::printf("  %s", st.label().c_str());
+    std::printf("\n");
+  }
+
+  std::string name_;
+  void (*fn_)(State&);
+  std::vector<std::vector<std::int64_t>> arg_sets_;
+  TimeUnit unit_ = kNanosecond;
+};
+
+inline std::vector<Benchmark*>& registry() {
+  static std::vector<Benchmark*> r;
+  return r;
+}
+
+inline Benchmark* register_benchmark(const char* name, void (*fn)(State&)) {
+  auto* b = new Benchmark(name, fn);
+  registry().push_back(b);
+  return b;
+}
+
+}  // namespace internal
+
+inline int run_all() {
+  std::printf("microbench fallback timer (Google Benchmark not found; "
+              "numbers are wall-clock, single-repetition)\n");
+  for (const internal::Benchmark* b : internal::registry()) b->run();
+  return 0;
+}
+
+}  // namespace benchmark
+
+#define BENCHMARK(fn)                                  \
+  static ::benchmark::internal::Benchmark* benchmark_registration_##fn = \
+      ::benchmark::internal::register_benchmark(#fn, fn)
+
+#define BENCHMARK_MAIN() \
+  int main() { return ::benchmark::run_all(); }

@@ -7,10 +7,15 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <cstdlib>
 #include <memory>
 #include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
+
+#include "common/assert.hpp"
 
 namespace sapp {
 
@@ -62,4 +67,73 @@ struct CacheAlignedAllocator {
 template <typename T>
 using CacheAlignedVector = std::vector<T, CacheAlignedAllocator<T>>;
 
+/// Fixed-size, cache-line-aligned, *uninitialized* storage — the backing
+/// store of every scheme's private buffers.
+///
+/// Unlike a vector, constructing or resetting an AlignedBuffer touches no
+/// pages: under Linux's first-touch placement policy the physical pages
+/// land on the NUMA node of whichever worker first writes them, so the
+/// schemes' Init phase (each worker neutral-fills its own buffer) doubles
+/// as placement. The 64-byte alignment is what the SIMD kernel backends
+/// and the cache-tiled merges assume (SAPP_ASSERT_ALIGNED checks it in
+/// debug builds at the point of use).
+template <typename T>
+class AlignedBuffer {
+  static_assert(std::is_trivially_copyable_v<T> &&
+                    std::is_trivially_destructible_v<T>,
+                "AlignedBuffer holds raw uninitialized storage");
+
+ public:
+  AlignedBuffer() = default;
+  explicit AlignedBuffer(std::size_t n) { reset(n); }
+  ~AlignedBuffer() { std::free(ptr_); }
+
+  AlignedBuffer(AlignedBuffer&& other) noexcept
+      : ptr_(std::exchange(other.ptr_, nullptr)),
+        size_(std::exchange(other.size_, 0)) {}
+  AlignedBuffer& operator=(AlignedBuffer&& other) noexcept {
+    if (this != &other) {
+      std::free(ptr_);
+      ptr_ = std::exchange(other.ptr_, nullptr);
+      size_ = std::exchange(other.size_, 0);
+    }
+    return *this;
+  }
+  AlignedBuffer(const AlignedBuffer&) = delete;
+  AlignedBuffer& operator=(const AlignedBuffer&) = delete;
+
+  /// Reallocate to exactly `n` elements, contents indeterminate.
+  void reset(std::size_t n) {
+    std::free(ptr_);
+    ptr_ = nullptr;
+    size_ = n;
+    if (n == 0) return;
+    // aligned_alloc requires the size to be a multiple of the alignment.
+    const std::size_t bytes =
+        (n * sizeof(T) + kCacheLine - 1) / kCacheLine * kCacheLine;
+    ptr_ = static_cast<T*>(std::aligned_alloc(kCacheLine, bytes));
+    if (ptr_ == nullptr) throw std::bad_alloc();
+  }
+
+  [[nodiscard]] T* data() noexcept { return ptr_; }
+  [[nodiscard]] const T* data() const noexcept { return ptr_; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] T& operator[](std::size_t i) noexcept { return ptr_[i]; }
+  [[nodiscard]] const T& operator[](std::size_t i) const noexcept {
+    return ptr_[i];
+  }
+
+ private:
+  T* ptr_ = nullptr;
+  std::size_t size_ = 0;
+};
+
 }  // namespace sapp
+
+/// Debug-build check that a pointer satisfies the kernel backends'
+/// 64-byte alignment contract (compiled out under NDEBUG).
+#define SAPP_ASSERT_ALIGNED(p)                                            \
+  SAPP_ASSERT(reinterpret_cast<std::uintptr_t>(p) % ::sapp::kCacheLine == \
+                  0,                                                      \
+              "private buffer is not 64-byte aligned")

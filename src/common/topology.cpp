@@ -1,0 +1,265 @@
+#include "common/topology.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <thread>
+
+#include "common/assert.hpp"
+
+namespace sapp {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string read_first_line(const fs::path& p) {
+  std::ifstream f(p);
+  std::string line;
+  if (f) std::getline(f, line);
+  return line;
+}
+
+CpuTopology flat_fallback() {
+  CpuTopology t;
+  t.total_cpus = std::max(1u, std::thread::hardware_concurrency());
+  TopologyNode n;
+  n.node_id = 0;
+  for (unsigned c = 0; c < t.total_cpus; ++c) n.cpus.push_back(c);
+  t.nodes.push_back(std::move(n));
+  return t;
+}
+
+}  // namespace
+
+std::vector<unsigned> parse_cpulist(const std::string& list) {
+  std::vector<unsigned> cpus;
+  std::stringstream ss(list);
+  std::string chunk;
+  while (std::getline(ss, chunk, ',')) {
+    if (chunk.empty()) continue;
+    try {
+      if (const auto dash = chunk.find('-'); dash != std::string::npos) {
+        const unsigned lo = static_cast<unsigned>(
+            std::stoul(chunk.substr(0, dash)));
+        const unsigned hi = static_cast<unsigned>(
+            std::stoul(chunk.substr(dash + 1)));
+        if (hi < lo || hi - lo > 4096) continue;  // malformed / absurd
+        for (unsigned c = lo; c <= hi; ++c) cpus.push_back(c);
+      } else {
+        cpus.push_back(static_cast<unsigned>(std::stoul(chunk)));
+      }
+    } catch (...) {
+      // skip the malformed chunk, keep the rest
+    }
+  }
+  return cpus;
+}
+
+CpuTopology CpuTopology::detect() {
+#if defined(__linux__)
+  CpuTopology t;
+  std::error_code ec;
+  const fs::path node_root = "/sys/devices/system/node";
+  if (fs::is_directory(node_root, ec)) {
+    for (const auto& entry : fs::directory_iterator(node_root, ec)) {
+      const std::string name = entry.path().filename().string();
+      if (name.rfind("node", 0) != 0 ||
+          name.find_first_not_of("0123456789", 4) != std::string::npos ||
+          name.size() == 4)
+        continue;
+      TopologyNode n;
+      n.node_id = static_cast<unsigned>(std::stoul(name.substr(4)));
+      n.cpus = parse_cpulist(read_first_line(entry.path() / "cpulist"));
+      if (!n.cpus.empty()) t.nodes.push_back(std::move(n));
+    }
+  }
+  if (t.nodes.empty()) return flat_fallback();
+  std::sort(t.nodes.begin(), t.nodes.end(),
+            [](const TopologyNode& a, const TopologyNode& b) {
+              return a.node_id < b.node_id;
+            });
+
+  // Core/package counts from the per-cpu topology files (best effort; the
+  // counts are metadata, the schedule only needs the node shares).
+  std::set<std::pair<long, long>> cores;
+  std::set<long> packages;
+  for (const auto& node : t.nodes) {
+    t.total_cpus += static_cast<unsigned>(node.cpus.size());
+    for (const unsigned c : node.cpus) {
+      const fs::path cpu = "/sys/devices/system/cpu/cpu" + std::to_string(c);
+      const std::string core = read_first_line(cpu / "topology" / "core_id");
+      const std::string pkg =
+          read_first_line(cpu / "topology" / "physical_package_id");
+      if (core.empty() || pkg.empty()) continue;
+      try {
+        cores.emplace(std::stol(pkg), std::stol(core));
+        packages.insert(std::stol(pkg));
+      } catch (...) {
+      }
+    }
+  }
+  t.physical_cores = static_cast<unsigned>(cores.size());
+  t.packages = static_cast<unsigned>(packages.size());
+  t.from_sysfs = true;
+  return t;
+#else
+  return flat_fallback();
+#endif
+}
+
+const CpuTopology& CpuTopology::host() {
+  static const CpuTopology t = detect();
+  return t;
+}
+
+std::string CpuTopology::summary() const {
+  std::string s = std::to_string(nodes.size()) +
+                  (nodes.size() == 1 ? " node" : " nodes");
+  if (packages > 0)
+    s += " / " + std::to_string(packages) +
+         (packages == 1 ? " package" : " packages");
+  if (physical_cores > 0)
+    s += " / " + std::to_string(physical_cores) +
+         (physical_cores == 1 ? " core" : " cores");
+  s += " / " + std::to_string(total_cpus) +
+       (total_cpus == 1 ? " cpu" : " cpus");
+  s += from_sysfs ? " (sysfs)" : " (flat fallback)";
+  return s;
+}
+
+// ------------------------------------------------------ CombineSchedule
+
+namespace {
+
+/// 0 = no override. Relaxed atomics: tests flip this between runs while
+/// pool helpers are parked.
+std::atomic<unsigned> g_forced_groups{0};
+
+enum class Policy { kFlat, kNodes, kFixedGroups };
+
+struct EnvPolicy {
+  Policy policy = Policy::kNodes;
+  unsigned fixed = 0;
+};
+
+EnvPolicy env_policy() {
+  static const EnvPolicy p = [] {
+    EnvPolicy e;
+    const char* env = std::getenv("SAPP_TOPOLOGY");
+    if (env == nullptr || *env == '\0') return e;
+    const std::string v = env;
+    if (v == "flat") {
+      e.policy = Policy::kFlat;
+    } else if (v == "nodes") {
+      e.policy = Policy::kNodes;
+    } else if (v.rfind("groups=", 0) == 0) {
+      try {
+        e.fixed = static_cast<unsigned>(std::stoul(v.substr(7)));
+        e.policy = Policy::kFixedGroups;
+      } catch (...) {
+        e.fixed = 0;
+      }
+      if (e.fixed == 0) {
+        SAPP_REQUIRE(false,
+                     "SAPP_TOPOLOGY=groups=<G> needs a positive integer");
+      }
+    } else {
+      const std::string msg = "SAPP_TOPOLOGY='" + v +
+                              "' is not flat, nodes, or groups=<G>";
+      SAPP_REQUIRE(false, msg.c_str());
+    }
+    return e;
+  }();
+  return p;
+}
+
+}  // namespace
+
+const Range& CombineSchedule::group_of(unsigned tid) const {
+  for (const Range& g : groups)
+    if (tid >= g.begin && tid < g.end) return g;
+  SAPP_REQUIRE(false, "worker id outside the combine schedule");
+  return groups.front();  // unreachable
+}
+
+CombineSchedule CombineSchedule::equal_groups(unsigned P, unsigned G) {
+  CombineSchedule s;
+  if (P == 0) return s;
+  G = std::clamp(G, 1u, P);
+  for (unsigned g = 0; g < G; ++g) {
+    const Range r = static_block(P, g, G);
+    if (!r.empty()) s.groups.push_back(r);
+  }
+  return s;
+}
+
+CombineSchedule CombineSchedule::from_topology(unsigned P,
+                                               const CpuTopology& t) {
+  CombineSchedule s;
+  if (P == 0) return s;
+  if (t.nodes.size() <= 1 || t.total_cpus == 0)
+    return equal_groups(P, 1);
+  // Proportional contiguous split: node j's group gets a worker-id block
+  // sized by its share of the machine's CPUs (cumulative rounding keeps
+  // the union exact). Empty blocks are dropped (P < node count).
+  std::size_t begin = 0;
+  unsigned cpus_before = 0;
+  for (const auto& node : t.nodes) {
+    cpus_before += static_cast<unsigned>(node.cpus.size());
+    const std::size_t end =
+        (static_cast<std::size_t>(P) * cpus_before + t.total_cpus / 2) /
+        t.total_cpus;
+    const std::size_t clamped = std::min<std::size_t>(end, P);
+    if (clamped > begin) {
+      s.groups.push_back(Range{begin, clamped});
+      begin = clamped;
+    }
+  }
+  if (begin < P) {  // rounding shortfall lands in the last group
+    if (s.groups.empty()) s.groups.push_back(Range{0, P});
+    else s.groups.back().end = P;
+  }
+  return s;
+}
+
+CombineSchedule CombineSchedule::for_workers(unsigned P) {
+  if (const unsigned g = g_forced_groups.load(std::memory_order_relaxed);
+      g > 0)
+    return equal_groups(P, g);
+  const EnvPolicy e = env_policy();
+  switch (e.policy) {
+    case Policy::kFlat: return equal_groups(P, 1);
+    case Policy::kFixedGroups: return equal_groups(P, e.fixed);
+    case Policy::kNodes: break;
+  }
+  return from_topology(P, CpuTopology::host());
+}
+
+namespace topology {
+
+void force_groups(unsigned g) {
+  g_forced_groups.store(g, std::memory_order_relaxed);
+}
+
+std::string policy_summary() {
+  if (const unsigned g = g_forced_groups.load(std::memory_order_relaxed);
+      g > 0)
+    return "forced groups=" + std::to_string(g);
+  switch (env_policy().policy) {
+    case Policy::kFlat: return "flat (SAPP_TOPOLOGY)";
+    case Policy::kFixedGroups:
+      return "groups=" + std::to_string(env_policy().fixed) +
+             " (SAPP_TOPOLOGY)";
+    case Policy::kNodes: break;
+  }
+  return "nodes";
+}
+
+}  // namespace topology
+
+}  // namespace sapp

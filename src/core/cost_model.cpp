@@ -8,6 +8,7 @@
 
 #include "common/thread_pool.hpp"
 #include "common/timer.hpp"
+#include "reductions/kernels.hpp"
 #include "reductions/registry.hpp"
 #include "reductions/scheme_hash.hpp"
 
@@ -37,8 +38,12 @@ MachineCoeffs MachineCoeffs::calibrate(ThreadPool& pool) {
   for (std::size_t i = 0; i < kN; ++i) ix[i] = static_cast<std::uint32_t>(
       (i * 2654435761u) % kN);
 
+  // Init and Merge are exactly the kernel-backend primitives the schemes
+  // execute, so calibrate through the dispatched backend: an AVX-512 host
+  // gets AVX-512 Init/Merge coefficients and the ranking shifts with it.
+  const kernels::KernelOps& K = kernels::active();
   mc.ns_init = measure_ns(kN, [&](std::size_t n) {
-    std::fill(a.begin(), a.begin() + n, 0.0);
+    K.fill(a.data(), n, 0.0);
   });
   mc.ns_update = measure_ns(kN, [&](std::size_t n) {
     for (std::size_t i = 0; i < n; ++i) a[ix[i]] += b[i];
@@ -50,8 +55,10 @@ MachineCoeffs MachineCoeffs::calibrate(ThreadPool& pool) {
       big[(i * 40503u + 77u) % big.size()] += b[i];
   });
   mc.ns_merge = measure_ns(kN, [&](std::size_t n) {
-    for (std::size_t i = 0; i < n; ++i) a[i] += b[i];
+    K.merge_sum(a.data(), b.data(), n);
   }) * 2.0;  // merge reads a remote copy and writes: ~2 streams
+  // 3 streams per merged element: read acc, read src, write acc.
+  mc.merge_gbps = 3.0 * sizeof(double) / (mc.ns_merge / 2.0);
   mc.ns_flop = measure_ns(kN, [&](std::size_t n) {
     double x = 1.0;
     for (std::size_t i = 0; i < n; ++i) x = x * 0.999 + 0.001;

@@ -32,8 +32,15 @@ struct MachineCoeffs {
   double ns_inspect = 2.0;   ///< inspector work per reference (lw/sel)
   double ns_alloc = 0.4;     ///< private-storage allocation per element
   double fork_join_us = 15;  ///< per parallel phase dispatch overhead
+  /// Merge-kernel streaming bandwidth (GB/s moved: read acc + read src +
+  /// write acc per element) as measured on the active backend. Metadata
+  /// for results; ns_init/ns_merge already embed it.
+  double merge_gbps = 0.0;
 
   /// Coefficients measured on this host with short micro-loops (~10 ms).
+  /// Init and Merge run through the active kernel backend
+  /// (reductions/kernels.hpp), so the predictions — and therefore the
+  /// scheme ranking — track whatever ISA dispatch selected.
   static MachineCoeffs calibrate(ThreadPool& pool);
   /// Conservative defaults (used when calibration is disabled).
   static MachineCoeffs defaults() { return {}; }

@@ -12,6 +12,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/aligned.hpp"
 #include "common/compiler.hpp"
 #include "reductions/reduction_op.hpp"
 #include "reductions/scheme.hpp"
@@ -25,9 +26,11 @@ class HashScheme final : public Scheme {
   [[nodiscard]] SchemeKind kind() const override { return SchemeKind::kHash; }
 
   /// Per-thread linear-probing table. Grows by doubling at 70% load.
+  /// Storage is cache-line-aligned and allocated lazily on the first Init
+  /// by the owning worker, so the pages land on that worker's node.
   struct Table {
-    std::vector<std::uint32_t> key;
-    std::vector<double> val;
+    CacheAlignedVector<std::uint32_t> key;
+    CacheAlignedVector<double> val;
     std::size_t mask = 0;
     std::size_t used = 0;
 
@@ -65,8 +68,8 @@ class HashScheme final : public Scheme {
     }
 
     void grow() {
-      std::vector<std::uint32_t> ok = std::move(key);
-      std::vector<double> ov = std::move(val);
+      CacheAlignedVector<std::uint32_t> ok = std::move(key);
+      CacheAlignedVector<double> ov = std::move(val);
       key.assign((mask + 1) * 2, kEmpty);
       val.assign((mask + 1) * 2, Op::neutral());
       mask = key.size() - 1;
@@ -87,6 +90,7 @@ class HashScheme final : public Scheme {
   struct Plan final : SchemePlan {
     mutable std::vector<Table> tables;
     std::size_t per_thread_refs = 0;
+    std::size_t initial_capacity = 0;
     unsigned nthreads = 0;
   };
 
@@ -96,11 +100,12 @@ class HashScheme final : public Scheme {
     pl->nthreads = nthreads;
     pl->tables.resize(nthreads);
     // Size for the worst case of all-distinct refs per thread, capped by the
-    // array dimension; the table grows if the estimate is beaten.
+    // array dimension; the table grows if the estimate is beaten. The tables
+    // themselves are allocated on first Init by their owning workers
+    // (first-touch placement), not here.
     pl->per_thread_refs = p.num_refs() / nthreads + 1;
-    const std::size_t est =
+    pl->initial_capacity =
         2 * (pl->per_thread_refs < p.dim ? pl->per_thread_refs : p.dim);
-    for (auto& t : pl->tables) t.reset(est);
     return pl;
   }
 
@@ -119,9 +124,14 @@ class HashScheme final : public Scheme {
     Timer t;
     pool.run([&](unsigned tid) {
       auto& tb = pl->tables[tid];
-      // Keep the grown capacity across invocations; just clear contents.
-      std::fill(tb.key.begin(), tb.key.end(), Table::kEmpty);
-      tb.used = 0;
+      if (tb.key.empty()) {  // first invocation: owner allocates + touches
+        tb.reset(pl->initial_capacity);
+      } else {
+        // Keep the grown capacity across invocations; just clear contents.
+        std::fill(tb.key.begin(), tb.key.end(), Table::kEmpty);
+        tb.used = 0;
+      }
+      SAPP_ASSERT_ALIGNED(tb.val.data());
     });
     r.phases.init_s = t.seconds();
 

@@ -13,9 +13,11 @@
 // floating-point combine order — the previous CAS-based merge was neither.
 #pragma once
 
+#include <algorithm>
 #include <memory>
 #include <vector>
 
+#include "common/aligned.hpp"
 #include "common/compiler.hpp"
 #include "reductions/reduction_op.hpp"
 #include "reductions/scheme.hpp"
@@ -30,10 +32,14 @@ class LinkedScheme final : public Scheme {
     return SchemeKind::kLinked;
   }
 
+  /// Buffers are uninitialized aligned storage: `val` is only ever read
+  /// after the loop's first-touch neutralization, and `next` gets its bulk
+  /// kUntouched sweep from the owning worker on first Init — which under
+  /// first-touch placement also puts the pages on that worker's node.
   struct Plan final : SchemePlan {
     struct ThreadBuf {
-      std::vector<double> val;
-      std::vector<std::int32_t> next;  // kUntouched / kNil / element id
+      AlignedBuffer<double> val;
+      AlignedBuffer<std::int32_t> next;  // kUntouched / kNil / element id
       std::int32_t head = kNil;
       bool virgin = true;  // next not yet bulk-initialized
     };
@@ -48,8 +54,8 @@ class LinkedScheme final : public Scheme {
     auto pl = std::make_unique<Plan>();
     pl->bufs.resize(nthreads);
     for (auto& b : pl->bufs) {
-      b.val.resize(p.dim);
-      b.next.resize(p.dim);
+      b.val.reset(p.dim);
+      b.next.reset(p.dim);
       b.virgin = true;
       b.head = kNil;
     }
@@ -76,8 +82,9 @@ class LinkedScheme final : public Scheme {
     Timer t;
     pool.run([&](unsigned tid) {
       auto& b = pl->bufs[tid];
+      SAPP_ASSERT_ALIGNED(b.val.data());
       if (b.virgin) {
-        std::fill(b.next.begin(), b.next.end(), kUntouched);
+        std::fill_n(b.next.data(), b.next.size(), kUntouched);
         b.virgin = false;
       } else {
         std::int32_t e = b.head;

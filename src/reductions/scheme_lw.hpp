@@ -13,6 +13,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/aligned.hpp"
 #include "common/compiler.hpp"
 #include "reductions/reduction_op.hpp"
 #include "reductions/scheme.hpp"
@@ -32,7 +33,9 @@ class LocalWriteScheme final : public Scheme {
   }
 
   struct Plan final : SchemePlan {
-    std::vector<std::vector<std::uint32_t>> iters;  // [thread] -> iteration ids
+    // Per-thread iteration lists on their own cache lines: each list is
+    // streamed read-only by exactly one worker during the loop phase.
+    std::vector<CacheAlignedVector<std::uint32_t>> iters;
     std::size_t replicated_executions = 0;  // Σ_t |iters[t]|
     unsigned nthreads = 0;
   };

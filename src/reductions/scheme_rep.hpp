@@ -4,9 +4,20 @@
 // Each thread owns a full private copy of the reduction array. Phases:
 //   Init : fill every private copy with the neutral element,
 //   Loop : accumulate locally, no synchronization,
-//   Merge: parallel over elements, fold the P partial copies into `w`.
+//   Merge: fold the P partial copies into `w`.
 // This is also exactly the Sw baseline of the hardware evaluation (§6.2),
 // whose Init and Merge costs PCLR eliminates.
+//
+// Init and Merge run on the active kernel backend (reductions/kernels.hpp:
+// scalar or AVX2/AVX-512 via runtime dispatch) over 64-byte-aligned
+// private buffers that are first-touch-initialized by their owning worker.
+// The merge is topology-aware (common/topology.hpp): with a grouped
+// combine schedule, copies fold within a group into the group leader's
+// buffer first, then the group results fold into `out` in ascending group
+// order; with the (default single-node) flat schedule the fold is the
+// historical ((out ⊕ p0) ⊕ p1)… ascending-thread order. Both orders are
+// deterministic, and vectorization never changes a bit: per element the
+// operator applications happen in the same sequence on every backend.
 #pragma once
 
 #include <memory>
@@ -14,6 +25,8 @@
 
 #include "common/aligned.hpp"
 #include "common/compiler.hpp"
+#include "common/topology.hpp"
+#include "reductions/kernels.hpp"
 #include "reductions/reduction_op.hpp"
 #include "reductions/scheme.hpp"
 
@@ -28,16 +41,17 @@ class RepScheme final : public Scheme {
   /// The plan only carries the reusable private arrays so repeated
   /// invocations don't pay allocation (they still pay Init: the arrays must
   /// be re-neutralized every time, which is the point of the scheme's cost
-  /// model).
+  /// model). Buffers are raw aligned storage — allocation touches no pages,
+  /// so the owning worker's Init fill doubles as first-touch placement.
   struct Plan final : SchemePlan {
-    mutable std::vector<CacheAlignedVector<double>> priv;
+    mutable std::vector<AlignedBuffer<double>> priv;
   };
 
   [[nodiscard]] std::unique_ptr<SchemePlan> plan(
       const AccessPattern& p, unsigned nthreads) const override {
     auto pl = std::make_unique<Plan>();
     pl->priv.resize(nthreads);
-    for (auto& v : pl->priv) v.resize(p.dim);
+    for (auto& v : pl->priv) v.reset(p.dim);
     return pl;
   }
 
@@ -53,13 +67,28 @@ class RepScheme final : public Scheme {
     const unsigned flops = in.pattern.body_flops;
     const unsigned P = pool.size();
 
+    const kernels::KernelOps& K = kernels::active();
+    const kernels::MergeFn merge = kernels::merge_fn<Op>(K);
+    // acc[k] = Op(acc[k], src[k]) over a contiguous span: the backend
+    // kernel when the operator has one, the generic loop otherwise.
+    const auto fold = [&](double* SAPP_RESTRICT acc,
+                          const double* SAPP_RESTRICT src, std::size_t len) {
+      if (merge != nullptr) {
+        merge(acc, src, len);
+      } else {
+        for (std::size_t k = 0; k < len; ++k)
+          acc[k] = Op::apply(acc[k], src[k]);
+      }
+    };
+
     SchemeResult r;
     r.private_bytes = static_cast<std::size_t>(P) * dim * sizeof(double);
 
     Timer t;
     pool.run([&](unsigned tid) {
       auto& mine = pl->priv[tid];
-      fill_neutral<Op>(mine.data(), mine.size());  // memset when neutral==+0.0
+      SAPP_ASSERT_ALIGNED(mine.data());
+      kernels::fill_neutral<Op>(K, mine.data(), mine.size());
     });
     r.phases.init_s = t.seconds();
 
@@ -80,23 +109,47 @@ class RepScheme final : public Scheme {
     r.phases.loop_s = t.seconds();
 
     // Merge: tile the element space so each private row streams through a
-    // tile contiguously (unit stride, vectorizable) instead of striding
-    // one element across all P copies. Within an element the copies still
-    // combine in ascending thread order, so the result is bitwise
-    // identical to the untiled per-element fold.
+    // tile contiguously (unit stride — the kernel backend's merge) instead
+    // of striding one element across all P copies.
     t.restart();
-    pool.parallel_for(dim, [&](unsigned, Range rg) {
-      constexpr std::size_t kTile = 1024;  // 8 KiB of `out` per tile
-      double* SAPP_RESTRICT o = out.data();
-      for (std::size_t t0 = rg.begin; t0 < rg.end; t0 += kTile) {
-        const std::size_t t1 = t0 + kTile < rg.end ? t0 + kTile : rg.end;
-        for (unsigned q = 0; q < P; ++q) {
-          const double* SAPP_RESTRICT src = pl->priv[q].data();
-          for (std::size_t e = t0; e < t1; ++e)
-            o[e] = Op::apply(o[e], src[e]);
+    const CombineSchedule sched = CombineSchedule::for_workers(P);
+    constexpr std::size_t kTile = 1024;  // 8 KiB of `out` per tile
+    if (sched.flat()) {
+      // Flat: per element, ((out ⊕ p0) ⊕ p1)… in ascending thread order.
+      pool.parallel_for(dim, [&](unsigned, Range rg) {
+        double* SAPP_RESTRICT o = out.data();
+        for (std::size_t t0 = rg.begin; t0 < rg.end; t0 += kTile) {
+          const std::size_t t1 = t0 + kTile < rg.end ? t0 + kTile : rg.end;
+          for (unsigned q = 0; q < P; ++q)
+            fold(o + t0, pl->priv[q].data() + t0, t1 - t0);
         }
-      }
-    });
+      });
+    } else {
+      // Hierarchical: each group pre-folds its copies into the group
+      // leader's buffer (workers split the element space within their own
+      // group, so the intra-group traffic stays on the group's node under
+      // first-touch placement), then the group results fold into `out` in
+      // ascending group order.
+      pool.run([&](unsigned tid) {
+        const Range g = sched.group_of(tid);
+        const auto gsz = static_cast<unsigned>(g.size());
+        if (gsz <= 1) return;
+        const Range slice =
+            static_block(dim, tid - static_cast<unsigned>(g.begin), gsz);
+        if (slice.empty()) return;
+        double* leader = pl->priv[g.begin].data() + slice.begin;
+        for (std::size_t q = g.begin + 1; q < g.end; ++q)
+          fold(leader, pl->priv[q].data() + slice.begin, slice.size());
+      });
+      pool.parallel_for(dim, [&](unsigned, Range rg) {
+        double* SAPP_RESTRICT o = out.data();
+        for (std::size_t t0 = rg.begin; t0 < rg.end; t0 += kTile) {
+          const std::size_t t1 = t0 + kTile < rg.end ? t0 + kTile : rg.end;
+          for (const Range& g : sched.groups)
+            fold(o + t0, pl->priv[g.begin].data() + t0, t1 - t0);
+        }
+      });
+    }
     r.phases.merge_s = t.seconds();
     return r;
   }

@@ -6,13 +6,23 @@
 // into compact per-thread buffers with a slot map; exclusive elements are
 // written straight into the shared array with no synchronization. Init and
 // merge cost scale with the number of shared elements only.
+//
+// The compact private rows are 64-byte-aligned uninitialized storage
+// (common/aligned.hpp) first-touched by their owning worker, and the Init
+// fill plus the merge's contiguous row folds run on the active kernel
+// backend (reductions/kernels.hpp). The merge honours the topology-aware
+// combine schedule: grouped hosts pre-fold each group's rows into the
+// group leader's row before the final gather/fold/scatter over `out`.
 #pragma once
 
 #include <cstdint>
 #include <memory>
 #include <vector>
 
+#include "common/aligned.hpp"
 #include "common/compiler.hpp"
+#include "common/topology.hpp"
+#include "reductions/kernels.hpp"
 #include "reductions/reduction_op.hpp"
 #include "reductions/scheme.hpp"
 
@@ -29,7 +39,7 @@ class SelectiveScheme final : public Scheme {
   struct Plan final : SchemePlan {
     std::vector<std::int32_t> slot;          // element -> compact slot or -1
     std::vector<std::uint32_t> shared_elems; // slot -> element
-    mutable std::vector<std::vector<double>> priv;  // [thread][slot]
+    mutable std::vector<AlignedBuffer<double>> priv;  // [thread][slot]
     unsigned nthreads = 0;
   };
 
@@ -63,8 +73,8 @@ class SelectiveScheme final : public Scheme {
         pl->slot[e] = static_cast<std::int32_t>(pl->shared_elems.size());
         pl->shared_elems.push_back(static_cast<std::uint32_t>(e));
       }
-    pl->priv.assign(nthreads,
-                    std::vector<double>(pl->shared_elems.size()));
+    pl->priv.resize(nthreads);
+    for (auto& v : pl->priv) v.reset(pl->shared_elems.size());
     return pl;
   }
 
@@ -80,6 +90,18 @@ class SelectiveScheme final : public Scheme {
     const unsigned P = pool.size();
     const std::size_t nshared = pl->shared_elems.size();
 
+    const kernels::KernelOps& K = kernels::active();
+    const kernels::MergeFn merge = kernels::merge_fn<Op>(K);
+    const auto fold = [&](double* SAPP_RESTRICT acc,
+                          const double* SAPP_RESTRICT src, std::size_t len) {
+      if (merge != nullptr) {
+        merge(acc, src, len);
+      } else {
+        for (std::size_t k = 0; k < len; ++k)
+          acc[k] = Op::apply(acc[k], src[k]);
+      }
+    };
+
     SchemeResult r;
     r.private_bytes = static_cast<std::size_t>(P) * nshared * sizeof(double) +
                       pl->slot.size() * sizeof(std::int32_t);
@@ -87,7 +109,9 @@ class SelectiveScheme final : public Scheme {
     Timer t;
     pool.run([&](unsigned tid) {
       auto& mine = pl->priv[tid];
-      fill_neutral<Op>(mine.data(), mine.size());  // memset when neutral==+0.0
+      if (mine.empty()) return;
+      SAPP_ASSERT_ALIGNED(mine.data());
+      kernels::fill_neutral<Op>(K, mine.data(), mine.size());
     });
     r.phases.init_s = t.seconds();
 
@@ -114,23 +138,41 @@ class SelectiveScheme final : public Scheme {
     r.phases.loop_s = t.seconds();
 
     // Merge: gather a tile of shared elements into a stack buffer once,
-    // stream each thread's compact private row through the tile with unit
-    // stride, then scatter back. Copies combine in ascending thread order
-    // per slot — bitwise identical to the per-slot fold, but the per-copy
-    // inner loop is contiguous and vectorizable.
+    // stream each private row through the tile with unit stride (the
+    // backend merge kernel), then scatter back. With a grouped schedule
+    // each group's rows pre-fold into the group leader's row first; the
+    // final pass then streams one row per group. Per slot the combine
+    // order stays deterministic: ascending thread order within a group,
+    // ascending group order across groups (flat == historical order).
     t.restart();
+    const CombineSchedule sched = CombineSchedule::for_workers(P);
+    constexpr std::size_t kTile = 1024;  // 8 KiB stack buffer
+    if (!sched.flat()) {
+      pool.run([&](unsigned tid) {
+        const Range g = sched.group_of(tid);
+        const auto gsz = static_cast<unsigned>(g.size());
+        if (gsz <= 1) return;
+        const Range slice =
+            static_block(nshared, tid - static_cast<unsigned>(g.begin), gsz);
+        if (slice.empty()) return;
+        double* leader = pl->priv[g.begin].data() + slice.begin;
+        for (std::size_t q = g.begin + 1; q < g.end; ++q)
+          fold(leader, pl->priv[q].data() + slice.begin, slice.size());
+      });
+    }
     pool.parallel_for(nshared, [&](unsigned, Range rg) {
-      constexpr std::size_t kTile = 1024;  // 8 KiB stack buffer
       double acc[kTile];
       const std::uint32_t* SAPP_RESTRICT se = pl->shared_elems.data();
       for (std::size_t t0 = rg.begin; t0 < rg.end; t0 += kTile) {
         const std::size_t len =
             (rg.end - t0 < kTile) ? rg.end - t0 : kTile;
         for (std::size_t k = 0; k < len; ++k) acc[k] = out[se[t0 + k]];
-        for (unsigned q = 0; q < P; ++q) {
-          const double* SAPP_RESTRICT src = pl->priv[q].data() + t0;
-          for (std::size_t k = 0; k < len; ++k)
-            acc[k] = Op::apply(acc[k], src[k]);
+        if (sched.flat()) {
+          for (unsigned q = 0; q < P; ++q)
+            fold(acc, pl->priv[q].data() + t0, len);
+        } else {
+          for (const Range& g : sched.groups)
+            fold(acc, pl->priv[g.begin].data() + t0, len);
         }
         for (std::size_t k = 0; k < len; ++k) out[se[t0 + k]] = acc[k];
       }

@@ -41,6 +41,7 @@ ExperimentRegistry& builtin_experiments() {
     register_phase_drift_experiments(*r);
     register_serving_experiments(*r);
     register_checking_experiments(*r);
+    register_kernel_experiments(*r);
     return r;
   }();
   return *registry;

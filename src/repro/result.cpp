@@ -4,6 +4,8 @@
 #include <thread>
 
 #include "common/assert.hpp"
+#include "common/topology.hpp"
+#include "reductions/kernels.hpp"
 
 namespace sapp::repro {
 
@@ -46,6 +48,17 @@ HostInfo HostInfo::current() {
   return h;
 }
 
+EnvironmentInfo EnvironmentInfo::current() {
+  EnvironmentInfo e;
+  const kernels::KernelOps& k = kernels::active();
+  e.backend = k.name;
+  e.isa = k.isa;
+  e.dispatch = kernels::dispatch_summary();
+  e.topology = CpuTopology::host().summary();
+  e.combine = topology::policy_summary();
+  return e;
+}
+
 std::string format_cell(const JsonValue& v) {
   switch (v.kind()) {
     case JsonValue::Kind::kNull: return "";
@@ -70,9 +83,12 @@ std::string md_escape(const std::string& s) {
 
 void render_config_lines(const RunMeta& meta, const HostInfo& host,
                          std::ostringstream& os) {
+  const EnvironmentInfo env = EnvironmentInfo::current();
   os << "- **Paper reference:** " << meta.paper_ref << "\n"
      << "- **Host:** " << host.tag() << ", " << host.hardware_threads
      << " hardware threads, " << host.compiler << "\n"
+     << "- **Environment:** backend " << env.backend << " (" << env.isa
+     << "), topology " << env.topology << ", combine " << env.combine << "\n"
      << "- **Config:** scale " << format_json_number(meta.scale)
      << ", threads " << meta.threads << ", reps " << meta.reps
      << ", warmup " << meta.warmup << (meta.tiny ? ", tiny" : "") << "\n";
@@ -158,6 +174,15 @@ JsonValue result_to_json(const RunMeta& meta, const HostInfo& host,
   h.set("hardware_threads", host.hardware_threads);
   doc.set("host", std::move(h));
 
+  const EnvironmentInfo envi = EnvironmentInfo::current();
+  JsonValue env = JsonValue::object();
+  env.set("backend", envi.backend);
+  env.set("isa", envi.isa);
+  env.set("dispatch", envi.dispatch);
+  env.set("topology", envi.topology);
+  env.set("combine", envi.combine);
+  doc.set("environment", std::move(env));
+
   JsonValue cfg = JsonValue::object();
   cfg.set("scale", meta.scale);
   cfg.set("threads", meta.threads);
@@ -213,6 +238,7 @@ std::string validate_result_json(const JsonValue& doc) {
         std::tuple{"title", JsonValue::Kind::kString, "a string"},
         std::tuple{"paper_ref", JsonValue::Kind::kString, "a string"},
         std::tuple{"host", JsonValue::Kind::kObject, "an object"},
+        std::tuple{"environment", JsonValue::Kind::kObject, "an object"},
         std::tuple{"config", JsonValue::Kind::kObject, "an object"},
         std::tuple{"tables", JsonValue::Kind::kArray, "an array"},
         std::tuple{"metrics", JsonValue::Kind::kObject, "an object"},
@@ -228,6 +254,14 @@ std::string validate_result_json(const JsonValue& doc) {
     const JsonValue* v = host.find(key);
     if (v == nullptr || !v->is_string())
       return std::string("host.") + key + " missing or not a string";
+  }
+
+  const JsonValue& env = *doc.find("environment");
+  for (const char* key :
+       {"backend", "isa", "dispatch", "topology", "combine"}) {
+    const JsonValue* v = env.find(key);
+    if (v == nullptr || !v->is_string())
+      return std::string("environment.") + key + " missing or not a string";
   }
 
   const JsonValue& cfg = *doc.find("config");

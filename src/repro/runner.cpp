@@ -8,6 +8,8 @@
 
 #include "common/table.hpp"
 #include "common/timer.hpp"
+#include "common/topology.hpp"
+#include "reductions/kernels.hpp"
 
 namespace sapp::repro {
 
@@ -92,6 +94,8 @@ std::string usage() {
 Reproduce the paper's experiments (figures, tables, ablations).
 
   --list             list registered experiments and exit
+  --list-backends    list compiled/usable kernel backends, the dispatch
+                     decision and the host topology, then exit
   --all              run every registered experiment
   --tiny             smoke sizes: ~1/10 scale (capped at 0.05), 1 rep
   --format LIST      comma-separated subset of {table,csv,json}
@@ -126,6 +130,7 @@ std::string parse_cli(int argc, const char* const* argv, CliOptions& opts) {
     };
     try {
       if (arg == "--list") opts.list = true;
+      else if (arg == "--list-backends") opts.list_backends = true;
       else if (arg == "--all") opts.all = true;
       else if (arg == "--tiny") opts.run.tiny = true;
       else if (arg == "--check") opts.check = true;
@@ -183,6 +188,24 @@ int run_cli(const CliOptions& opts, const ExperimentRegistry& registry,
             std::ostream& out, std::ostream& err) {
   if (opts.help) {
     out << usage();
+    return 0;
+  }
+  if (opts.list_backends) {
+    Table t({"Backend", "ISA", "Compiled", "CPU", "Active"});
+    for (const kernels::Backend b :
+         {kernels::Backend::kScalar, kernels::Backend::kAvx2,
+          kernels::Backend::kAvx512}) {
+      t.add_row({kernels::to_string(b),
+                 b == kernels::Backend::kScalar ? "portable"
+                 : b == kernels::Backend::kAvx2 ? "AVX2 (4 lanes)"
+                                                : "AVX-512F (8 lanes)",
+                 kernels::compiled(b) ? "yes" : "no",
+                 kernels::cpu_supports(b) ? "yes" : "no",
+                 b == kernels::active_backend() ? "*" : ""});
+    }
+    out << t.str() << "\ndispatch: " << kernels::dispatch_summary()
+        << "\ntopology: " << CpuTopology::host().summary()
+        << "\ncombine:  " << topology::policy_summary() << "\n";
     return 0;
   }
   if (opts.list) {

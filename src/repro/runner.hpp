@@ -13,6 +13,7 @@ namespace sapp::repro {
 /// Parsed command line. See `usage()` / docs/reproducing.md.
 struct CliOptions {
   bool list = false;
+  bool list_backends = false;  ///< print kernel backends/topology and exit
   bool all = false;
   bool help = false;
   bool check = false;     ///< re-parse + schema-validate every JSON written

@@ -1,0 +1,397 @@
+// Kernel backends, aligned buffers, topology reader and the topology-aware
+// combine schedule.
+//
+// The contracts pinned here:
+//   * every compiled+usable backend's fill/merge matches a plain C++ loop
+//     bitwise on every length (SIMD main loops, unrolled bodies and tail
+//     handling included) and on adversarial values (NaN, +-0, +-inf);
+//   * AlignedBuffer delivers 64-byte storage (the backends' assumption);
+//   * CombineSchedule partitions [0, P) exactly, the grouped rep/sel merge
+//     is deterministic, agrees with the flat merge under the summation
+//     error bound, and degenerates to the flat (bitwise-historical) order
+//     when every group has one worker.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/aligned.hpp"
+#include "common/topology.hpp"
+#include "differential_cases.hpp"
+#include "reductions/kernels.hpp"
+#include "reductions/scheme_rep.hpp"
+#include "reductions/scheme_sel.hpp"
+
+namespace sapp {
+namespace {
+
+// ------------------------------------------------------- AlignedBuffer
+
+TEST(AlignedBuffer, DeliversCacheLineAlignment) {
+  for (const std::size_t n : {1u, 7u, 64u, 1000u, 4096u}) {
+    AlignedBuffer<double> b(n);
+    EXPECT_EQ(b.size(), n);
+    EXPECT_FALSE(b.empty());
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(b.data()) % kCacheLine, 0u);
+    SAPP_ASSERT_ALIGNED(b.data());  // the macro itself must accept it
+  }
+  AlignedBuffer<std::int32_t> ints(33);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(ints.data()) % kCacheLine, 0u);
+}
+
+TEST(AlignedBuffer, MoveTransfersOwnershipAndEmptyIsEmpty) {
+  AlignedBuffer<double> a(16);
+  a[0] = 42.0;
+  double* p = a.data();
+  AlignedBuffer<double> b(std::move(a));
+  EXPECT_EQ(b.data(), p);
+  EXPECT_EQ(b[0], 42.0);
+  EXPECT_EQ(a.data(), nullptr);  // NOLINT(bugprone-use-after-move)
+  EXPECT_TRUE(a.empty());
+
+  AlignedBuffer<double> c;
+  EXPECT_TRUE(c.empty());
+  EXPECT_EQ(c.data(), nullptr);
+  c = std::move(b);
+  EXPECT_EQ(c.data(), p);
+}
+
+// ------------------------------------------------------------- kernels
+
+using kernels::Backend;
+
+TEST(Kernels, ScalarIsAlwaysUsableAndListedFirst) {
+  const auto usable = kernels::usable_backends();
+  ASSERT_FALSE(usable.empty());
+  EXPECT_EQ(usable.front(), Backend::kScalar);
+  EXPECT_TRUE(kernels::compiled(Backend::kScalar));
+  EXPECT_TRUE(kernels::cpu_supports(Backend::kScalar));
+  // detect_best is the widest usable backend.
+  EXPECT_EQ(kernels::detect_best(), usable.back());
+}
+
+TEST(Kernels, ParseBackendRoundTripsAndRejectsJunk) {
+  for (const Backend b :
+       {Backend::kScalar, Backend::kAvx2, Backend::kAvx512}) {
+    Backend out{};
+    ASSERT_TRUE(kernels::parse_backend(kernels::to_string(b), out));
+    EXPECT_EQ(out, b);
+  }
+  Backend out{};
+  EXPECT_FALSE(kernels::parse_backend("", out));
+  EXPECT_FALSE(kernels::parse_backend("sse9", out));
+  EXPECT_FALSE(kernels::parse_backend("AVX2", out));  // spellings are lower
+}
+
+TEST(Kernels, SetBackendRoundTripsOverUsableAndRefusesUnusable) {
+  const Backend original = kernels::active_backend();
+  for (const Backend b : kernels::usable_backends()) {
+    ASSERT_TRUE(kernels::set_backend(b));
+    EXPECT_EQ(kernels::active_backend(), b);
+    EXPECT_STREQ(kernels::active().name, kernels::to_string(b));
+  }
+#ifndef __x86_64__
+  EXPECT_FALSE(kernels::set_backend(Backend::kAvx2));
+#endif
+  ASSERT_TRUE(kernels::set_backend(original));
+  // The summary names the active backend.
+  EXPECT_NE(kernels::dispatch_summary().find(kernels::active().name),
+            std::string::npos);
+}
+
+/// Reference implementations the backends must match bitwise.
+enum class OpRefKind { kSum, kProd, kMin, kMax };
+void ref_merge_apply(OpRefKind op, double* acc, const double* src,
+                     std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    switch (op) {
+      case OpRefKind::kSum: acc[i] = acc[i] + src[i]; break;
+      case OpRefKind::kProd: acc[i] = acc[i] * src[i]; break;
+      case OpRefKind::kMin: acc[i] = acc[i] < src[i] ? acc[i] : src[i]; break;
+      case OpRefKind::kMax: acc[i] = acc[i] > src[i] ? acc[i] : src[i]; break;
+    }
+  }
+}
+
+kernels::MergeFn pick(const kernels::KernelOps& k, OpRefKind op) {
+  switch (op) {
+    case OpRefKind::kSum: return k.merge_sum;
+    case OpRefKind::kProd: return k.merge_prod;
+    case OpRefKind::kMin: return k.merge_min;
+    case OpRefKind::kMax: return k.merge_max;
+  }
+  return nullptr;
+}
+
+TEST(Kernels, EveryBackendMatchesTheReferenceBitwiseOnEveryLength) {
+  constexpr std::size_t kMax = 67;  // covers 512-bit x2, 512, 256, tails
+  const double qnan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  AlignedBuffer<double> acc0(kMax), src(kMax), got(kMax), want(kMax);
+  Rng rng(0xFEEDu);
+  for (std::size_t i = 0; i < kMax; ++i) {
+    acc0[i] = rng.uniform(-3.0, 3.0);
+    src[i] = rng.uniform(-3.0, 3.0);
+  }
+  // Adversarial values at positions straddling vector-width boundaries.
+  acc0[3] = qnan;  src[5] = qnan;
+  acc0[8] = -0.0;  src[8] = +0.0;
+  acc0[9] = +0.0;  src[9] = -0.0;
+  acc0[17] = inf;  src[18] = -inf;
+  acc0[33] = qnan; src[33] = qnan;
+
+  for (const Backend b : kernels::usable_backends()) {
+    const kernels::KernelOps* k = nullptr;
+    {
+      const Backend original = kernels::active_backend();
+      ASSERT_TRUE(kernels::set_backend(b));
+      k = &kernels::active();
+      ASSERT_TRUE(kernels::set_backend(original));
+    }
+    for (std::size_t n = 0; n <= kMax; ++n) {
+      // fill: exact bit pattern, including negative zero and NaN payloads.
+      for (const double v : {0.0, -0.0, 1.5, qnan}) {
+        k->fill(got.data(), n, v);
+        for (std::size_t i = 0; i < n; ++i) want[i] = v;
+        EXPECT_EQ(std::memcmp(got.data(), want.data(), n * sizeof(double)),
+                  0)
+            << kernels::to_string(b) << " fill n=" << n << " v=" << v;
+      }
+      for (const OpRefKind op : {OpRefKind::kSum, OpRefKind::kProd,
+                                 OpRefKind::kMin, OpRefKind::kMax}) {
+        std::memcpy(got.data(), acc0.data(), kMax * sizeof(double));
+        std::memcpy(want.data(), acc0.data(), kMax * sizeof(double));
+        pick(*k, op)(got.data(), src.data(), n);
+        ref_merge_apply(op, want.data(), src.data(), n);
+        EXPECT_EQ(
+            std::memcmp(got.data(), want.data(), kMax * sizeof(double)), 0)
+            << kernels::to_string(b) << " merge op="
+            << static_cast<int>(op) << " n=" << n;
+      }
+    }
+  }
+}
+
+TEST(Kernels, MergeFnMapsOperatorsAndFillNeutralFills) {
+  const kernels::KernelOps& k = kernels::scalar_ops();
+  EXPECT_EQ(kernels::merge_fn<SumOp<double>>(k), k.merge_sum);
+  EXPECT_EQ(kernels::merge_fn<ProdOp<double>>(k), k.merge_prod);
+  EXPECT_EQ(kernels::merge_fn<MinOp<double>>(k), k.merge_min);
+  EXPECT_EQ(kernels::merge_fn<MaxOp<double>>(k), k.merge_max);
+
+  AlignedBuffer<double> buf(13);
+  kernels::fill_neutral<MaxOp<double>>(k, buf.data(), buf.size());
+  for (std::size_t i = 0; i < buf.size(); ++i)
+    EXPECT_EQ(buf[i], MaxOp<double>::neutral()) << i;
+  kernels::fill_neutral<SumOp<double>>(k, buf.data(), buf.size());
+  for (std::size_t i = 0; i < buf.size(); ++i) EXPECT_EQ(buf[i], 0.0) << i;
+}
+
+// ------------------------------------------------------------ topology
+
+TEST(Topology, ParseCpulistHandlesSysfsShapes) {
+  EXPECT_EQ(parse_cpulist("0-3,8-11"),
+            (std::vector<unsigned>{0, 1, 2, 3, 8, 9, 10, 11}));
+  EXPECT_EQ(parse_cpulist("0"), (std::vector<unsigned>{0}));
+  EXPECT_EQ(parse_cpulist("5,7"), (std::vector<unsigned>{5, 7}));
+  EXPECT_TRUE(parse_cpulist("").empty());
+  EXPECT_TRUE(parse_cpulist("garbage").empty());
+  EXPECT_EQ(parse_cpulist("3-1,4"), (std::vector<unsigned>{4}));  // hi < lo
+  EXPECT_EQ(parse_cpulist("x,2"), (std::vector<unsigned>{2}));
+}
+
+TEST(Topology, HostProbeIsSaneAndSummarizes) {
+  const CpuTopology& t = CpuTopology::host();
+  EXPECT_GE(t.total_cpus, 1u);
+  ASSERT_FALSE(t.nodes.empty());
+  unsigned cpus = 0;
+  for (const auto& n : t.nodes) cpus += static_cast<unsigned>(n.cpus.size());
+  EXPECT_EQ(cpus, t.total_cpus);
+  EXPECT_FALSE(t.summary().empty());
+}
+
+TEST(CombineScheduleTest, EqualGroupsPartitionExactly) {
+  for (const unsigned P : {1u, 2u, 3u, 7u, 8u, 16u}) {
+    for (const unsigned G : {1u, 2u, 3u, 5u, 16u, 40u}) {
+      const CombineSchedule s = CombineSchedule::equal_groups(P, G);
+      ASSERT_FALSE(s.groups.empty()) << P << "/" << G;
+      EXPECT_LE(s.group_count(), static_cast<std::size_t>(std::min(P, G)));
+      std::size_t expect_begin = 0;
+      for (const Range& g : s.groups) {
+        EXPECT_EQ(g.begin, expect_begin);
+        EXPECT_FALSE(g.empty());
+        expect_begin = g.end;
+      }
+      EXPECT_EQ(expect_begin, P);
+      for (unsigned tid = 0; tid < P; ++tid) {
+        const Range& g = s.group_of(tid);
+        EXPECT_TRUE(tid >= g.begin && tid < g.end) << P << "/" << G;
+      }
+    }
+  }
+}
+
+TEST(CombineScheduleTest, FromTopologySplitsProportionally) {
+  CpuTopology t;
+  t.nodes.push_back({0, {0, 1, 2, 3}});
+  t.nodes.push_back({1, {4, 5, 6, 7}});
+  t.total_cpus = 8;
+  const CombineSchedule s = CombineSchedule::from_topology(8, t);
+  ASSERT_EQ(s.group_count(), 2u);
+  EXPECT_EQ(s.groups[0].begin, 0u);
+  EXPECT_EQ(s.groups[0].end, 4u);
+  EXPECT_EQ(s.groups[1].end, 8u);
+
+  // Uneven shares: 2-cpu + 6-cpu nodes, 4 workers -> 1 + 3.
+  CpuTopology u;
+  u.nodes.push_back({0, {0, 1}});
+  u.nodes.push_back({1, {2, 3, 4, 5, 6, 7}});
+  u.total_cpus = 8;
+  const CombineSchedule s2 = CombineSchedule::from_topology(4, u);
+  ASSERT_EQ(s2.group_count(), 2u);
+  EXPECT_EQ(s2.groups[0].end, 1u);
+  EXPECT_EQ(s2.groups[1].end, 4u);
+
+  // Fewer workers than nodes: empty blocks are dropped, union still exact.
+  const CombineSchedule s3 = CombineSchedule::from_topology(1, t);
+  ASSERT_EQ(s3.group_count(), 1u);
+  EXPECT_EQ(s3.groups[0].end, 1u);
+
+  // Single node is flat.
+  CpuTopology one;
+  one.nodes.push_back({0, {0, 1}});
+  one.total_cpus = 2;
+  EXPECT_TRUE(CombineSchedule::from_topology(2, one).flat());
+}
+
+TEST(CombineScheduleTest, ForceGroupsOverridesAndRestores) {
+  topology::force_groups(3);
+  const CombineSchedule s = CombineSchedule::for_workers(6);
+  EXPECT_EQ(s.group_count(), 3u);
+  EXPECT_NE(topology::policy_summary().find("forced"), std::string::npos);
+  topology::force_groups(0);
+  // This host/CI runs single-node (or flat fallback): back to flat.
+  EXPECT_LE(CombineSchedule::for_workers(6).group_count(),
+            CpuTopology::host().nodes.size());
+}
+
+// -------------------------------------- grouped (hierarchical) combine
+
+/// Reference ascending-thread-order fold (the flat contract) computed with
+/// plain vectors — mirrors op_thread_fold in scheme_differential_test.cpp.
+template <typename Op>
+std::vector<double> flat_fold_reference(const ReductionInput& in,
+                                        unsigned P) {
+  const auto& ptr = in.pattern.refs.row_ptr();
+  const auto& idx = in.pattern.refs.indices();
+  std::vector<std::vector<double>> val(
+      P, std::vector<double>(in.pattern.dim, Op::neutral()));
+  for (unsigned t = 0; t < P; ++t) {
+    const Range rg = static_block(in.pattern.iterations(), t, P);
+    for (std::size_t i = rg.begin; i < rg.end; ++i) {
+      const double s = iteration_scale(i, in.pattern.body_flops);
+      for (std::uint64_t j = ptr[i]; j < ptr[i + 1]; ++j)
+        val[t][idx[j]] = Op::apply(val[t][idx[j]], in.values[j] * s);
+    }
+  }
+  std::vector<double> out(in.pattern.dim, Op::neutral());
+  for (std::size_t e = 0; e < in.pattern.dim; ++e)
+    for (unsigned t = 0; t < P; ++t)
+      out[e] = Op::apply(out[e], val[t][e]);
+  return out;
+}
+
+class GroupedCombine : public ::testing::Test {
+ protected:
+  void TearDown() override { topology::force_groups(0); }
+};
+
+TEST_F(GroupedCombine, SingletonGroupsReproduceTheFlatOrderBitwise) {
+  // G == P makes every group one worker: stage 2 folds the "leaders" in
+  // ascending order, which IS the flat historical order.
+  const unsigned P = 4;
+  ThreadPool pool(P);
+  const auto c = difftest::derive_case(11);
+  const ReductionInput in = difftest::build_input(c, 11);
+  RepScheme<SumOp<double>> rep;
+
+  topology::force_groups(0);
+  std::vector<double> flat(in.pattern.dim, 0.0);
+  (void)rep.run(in, pool, flat);
+
+  topology::force_groups(P);
+  std::vector<double> grouped(in.pattern.dim, 0.0);
+  (void)rep.run(in, pool, grouped);
+
+  ASSERT_EQ(std::memcmp(flat.data(), grouped.data(),
+                        flat.size() * sizeof(double)),
+            0);
+}
+
+TEST_F(GroupedCombine, GroupedMergeIsDeterministicAndErrorBounded) {
+  constexpr double eps = std::numeric_limits<double>::epsilon();
+  for (const int ci : {3, 22, 41}) {
+    const auto c = difftest::derive_case(ci);
+    const unsigned P = 4;
+    ThreadPool pool(P);
+    const ReductionInput in = difftest::build_input(c, ci);
+    const std::vector<double> ref =
+        flat_fold_reference<SumOp<double>>(in, P);
+
+    // Per-element absolute-contribution sums for the reassociation bound.
+    std::vector<double> abs(in.pattern.dim, 0.0);
+    std::vector<std::size_t> cnt(in.pattern.dim, 0);
+    const auto& ptr = in.pattern.refs.row_ptr();
+    const auto& idx = in.pattern.refs.indices();
+    for (std::size_t i = 0; i < in.pattern.iterations(); ++i) {
+      const double s = iteration_scale(i, in.pattern.body_flops);
+      for (std::uint64_t j = ptr[i]; j < ptr[i + 1]; ++j) {
+        abs[idx[j]] += std::abs(in.values[j] * s);
+        ++cnt[idx[j]];
+      }
+    }
+
+    for (const unsigned G : {2u, 3u}) {
+      topology::force_groups(G);
+      RepScheme<SumOp<double>> rep;
+      SelectiveScheme<SumOp<double>> sel;
+      for (Scheme* scheme : {static_cast<Scheme*>(&rep),
+                             static_cast<Scheme*>(&sel)}) {
+        std::vector<double> out1(in.pattern.dim, 0.0);
+        (void)scheme->run(in, pool, out1);
+        std::vector<double> out2(in.pattern.dim, 0.0);
+        (void)scheme->run(in, pool, out2);
+        ASSERT_EQ(std::memcmp(out1.data(), out2.data(),
+                              out1.size() * sizeof(double)),
+                  0)
+            << "case " << ci << " G=" << G << ": nondeterministic";
+        for (std::size_t e = 0; e < out1.size(); ++e) {
+          const double bound =
+              (4.0 + static_cast<double>(cnt[e])) * eps * abs[e] +
+              std::numeric_limits<double>::denorm_min();
+          ASSERT_LE(std::abs(out1[e] - ref[e]), bound)
+              << "case " << ci << " G=" << G << " element " << e;
+        }
+      }
+
+      // Exact operators: any grouping is bitwise-identical to flat.
+      RepScheme<MaxOp<double>> repmax;
+      std::vector<double> gmax(in.pattern.dim, MaxOp<double>::neutral());
+      (void)repmax.run(in, pool, gmax);
+      const std::vector<double> refmax =
+          flat_fold_reference<MaxOp<double>>(in, P);
+      ASSERT_EQ(std::memcmp(gmax.data(), refmax.data(),
+                            gmax.size() * sizeof(double)),
+                0)
+          << "case " << ci << " G=" << G << ": max not bitwise";
+    }
+    topology::force_groups(0);
+  }
+}
+
+}  // namespace
+}  // namespace sapp

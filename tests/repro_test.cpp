@@ -139,7 +139,7 @@ TEST(ExperimentRegistry, BuiltinExperimentsAreStable) {
       "ablation_flex_occupancy", "spec_rlrpd",
       "overhead",                "adaptive_sites",
       "phase_drift",             "serving",
-      "checking",
+      "checking",                "kernels",
   };
   const auto& reg = builtin_experiments();
   ASSERT_GE(reg.size(), 9u);
@@ -222,8 +222,8 @@ TEST(ReproGolden, Fig6JsonSchemaSchemesAndWorkloadsAreStable) {
   for (const auto& [k, v] : doc.members()) keys.push_back(k);
   EXPECT_EQ(keys, (std::vector<std::string>{
                       "schema_version", "generator", "experiment", "title",
-                      "paper_ref", "host", "config", "tables", "metrics",
-                      "notes"}));
+                      "paper_ref", "host", "environment", "config", "tables",
+                      "metrics", "notes"}));
   EXPECT_EQ(doc.find("experiment")->as_string(), "fig6_pclr_breakdown");
   EXPECT_EQ(doc.find("paper_ref")->as_string(), "Fig. 6");
 
@@ -287,6 +287,20 @@ TEST(ReproValidate, CatchesSchemaViolations) {
   JsonValue no_tables = good;
   no_tables.set("tables", JsonValue::array());
   EXPECT_NE(validate_result_json(no_tables), "");
+
+  // Schema v2: the environment block is required and fully typed.
+  JsonValue bad_env = good;
+  bad_env.set("environment", JsonValue::object());
+  EXPECT_NE(validate_result_json(bad_env), "");
+  const JsonValue* env = good.find("environment");
+  ASSERT_NE(env, nullptr);
+  for (const char* key :
+       {"backend", "isa", "dispatch", "topology", "combine"}) {
+    const JsonValue* v = env->find(key);
+    ASSERT_NE(v, nullptr) << key;
+    EXPECT_TRUE(v->is_string()) << key;
+    EXPECT_FALSE(v->as_string().empty()) << key;
+  }
 }
 
 TEST(ReproResult, RowWidthMismatchIsFatal) {

@@ -40,6 +40,7 @@
 
 #include "common/rng.hpp"
 #include "differential_cases.hpp"
+#include "reductions/kernels.hpp"
 #include "reductions/registry.hpp"
 #include "reductions/scheme_atomic.hpp"
 #include "reductions/scheme_critical.hpp"
@@ -229,7 +230,12 @@ void run_case(const CaseParams& c, const ReductionInput& in, ThreadPool& pool,
   }
 }
 
-TEST(SchemeDifferential, RandomizedPatternOperatorThreadSweep) {
+/// The full 240-case sweep under whatever kernel backend is active. All
+/// deterministic schemes are checked bitwise against references computed
+/// in plain C++ here in the test, so a pass under a backend proves that
+/// backend reproduces the documented combine order exactly — the
+/// scalar-vs-SIMD agreement bound is therefore zero ULPs, not an epsilon.
+void run_all_cases() {
   constexpr int kCases = 240;
   std::map<unsigned, std::unique_ptr<ThreadPool>> pools;
   for (int i = 0; i < kCases; ++i) {
@@ -242,8 +248,54 @@ TEST(SchemeDifferential, RandomizedPatternOperatorThreadSweep) {
       case OpKind::kMax: run_case<MaxOp<double>>(c, in, *pool, i); break;
       case OpKind::kMin: run_case<MinOp<double>>(c, in, *pool, i); break;
     }
-    if (HasFatalFailure()) return;  // the case index is in the message
+    if (::testing::Test::HasFatalFailure()) return;  // case index in message
   }
+}
+
+TEST(SchemeDifferential, RandomizedPatternOperatorThreadSweep) {
+  // Dispatched backend (or the SAPP_BACKEND override — the CI
+  // forced-scalar leg runs this test with SAPP_BACKEND=scalar).
+  run_all_cases();
+}
+
+TEST(SchemeDifferential, EveryUsableBackendPassesTheSweep) {
+  const kernels::Backend original = kernels::active_backend();
+  for (const kernels::Backend b : kernels::usable_backends()) {
+    if (b == original) continue;  // covered by the sweep test above
+    SCOPED_TRACE(std::string("backend ") + std::string(kernels::to_string(b)));
+    ASSERT_TRUE(kernels::set_backend(b));
+    run_all_cases();
+    if (HasFatalFailure()) break;
+  }
+  ASSERT_TRUE(kernels::set_backend(original));
+}
+
+TEST(SchemeDifferential, RepeatedRunsAreBitwiseDeterministicPerBackend) {
+  const kernels::Backend original = kernels::active_backend();
+  std::map<unsigned, std::unique_ptr<ThreadPool>> pools;
+  for (int i = 0; i < 240; i += 24) {
+    const CaseParams c = derive_case(i);
+    if (c.op != OpKind::kSum) continue;  // rounding only moves under sum
+    const ReductionInput in = build_input(c, i);
+    auto& pool = pools[c.threads];
+    if (!pool) pool = std::make_unique<ThreadPool>(c.threads);
+    for (const kernels::Backend b : kernels::usable_backends()) {
+      ASSERT_TRUE(kernels::set_backend(b));
+      for (const SchemeKind kind :
+           {SchemeKind::kRep, SchemeKind::kSelective}) {
+        const auto scheme = make_scheme_op<SumOp<double>>(kind);
+        std::vector<double> first(in.pattern.dim, 0.0);
+        (void)scheme->run(in, *pool, first);
+        std::vector<double> second(in.pattern.dim, 0.0);
+        (void)scheme->run(in, *pool, second);
+        expect_bitwise(second, first,
+                       std::string("case ") + std::to_string(i) + " " +
+                           std::string(to_string(kind)) + " under " +
+                           std::string(kernels::to_string(b)));
+      }
+    }
+  }
+  ASSERT_TRUE(kernels::set_backend(original));
 }
 
 }  // namespace
