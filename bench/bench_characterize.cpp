@@ -1,7 +1,13 @@
 // Micro-benchmarks: cost of the run-time pattern characterization (§4's
 // "simple, fast ways to recognize" access patterns), exact vs. sampled —
-// the overhead SmartApps pays before it can decide.
+// the overhead SmartApps pays before it can decide. Uses Google Benchmark
+// when available; otherwise CMake builds this file against the vendored
+// microbench.hpp timer so the binary still exists on bare toolchains.
+#if defined(SAPP_HAVE_GBENCH)
 #include <benchmark/benchmark.h>
+#else
+#include "microbench.hpp"
+#endif
 
 #include "core/characterize.hpp"
 #include "core/phase_monitor.hpp"

@@ -103,6 +103,11 @@ class Benchmark {
   Benchmark(std::string name, void (*fn)(State&))
       : name_(std::move(name)), fn_(fn) {}
 
+  Benchmark* Arg(std::int64_t arg) {
+    arg_sets_.push_back({arg});
+    return this;
+  }
+
   Benchmark* Args(std::vector<std::int64_t> args) {
     arg_sets_.push_back(std::move(args));
     return this;

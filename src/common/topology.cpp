@@ -57,6 +57,11 @@ std::vector<unsigned> parse_cpulist(const std::string& list) {
       // skip the malformed chunk, keep the rest
     }
   }
+  // sysfs lists may overlap across chunks ("0-2,2,1" is legal); the
+  // consumers (CPU shares, group splits) need each CPU exactly once, in
+  // order.
+  std::sort(cpus.begin(), cpus.end());
+  cpus.erase(std::unique(cpus.begin(), cpus.end()), cpus.end());
   return cpus;
 }
 

@@ -14,6 +14,7 @@ bool is_commutative_update(Statement::Op op) {
     case Statement::Op::kPlusAssign:
     case Statement::Op::kMulAssign:
     case Statement::Op::kMaxAssign:
+    case Statement::Op::kMinAssign:
       return true;
     case Statement::Op::kAssign:
       return false;
@@ -106,15 +107,17 @@ ReductionInput extract_input(const LoopNest& loop,
   for (const Statement& st : loop.body)
     if (st.target == target) updates.push_back(&st);
 
-  auto eval_index = [&](const IndexExpr& ix, std::size_t i) -> std::uint32_t {
-    std::int64_t v = 0;
+  // Evaluate a subscript at (outer i, inner j); `j` is ignored for flat
+  // statements and required (via kInnerIndex) only inside nested ones.
+  auto eval_position = [&](const IndexExpr& ix, std::size_t i,
+                           std::int64_t j) -> std::int64_t {
     switch (ix.kind) {
       case IndexExpr::Kind::kLoopIndex:
-        v = static_cast<std::int64_t>(i) + ix.offset;
-        break;
+        return static_cast<std::int64_t>(i) + ix.offset;
       case IndexExpr::Kind::kConstant:
-        v = ix.offset;
-        break;
+        return ix.offset;
+      case IndexExpr::Kind::kInnerIndex:
+        return j + ix.offset;
       case IndexExpr::Kind::kIndirect: {
         auto it = bindings.index_arrays.find(ix.index_array);
         SAPP_REQUIRE(it != bindings.index_arrays.end(),
@@ -123,13 +126,43 @@ ReductionInput extract_input(const LoopNest& loop,
         SAPP_REQUIRE(pos >= 0 && static_cast<std::size_t>(pos) <
                                      it->second.size(),
                      "index array subscript out of range");
-        v = it->second[static_cast<std::size_t>(pos)];
-        break;
+        return it->second[static_cast<std::size_t>(pos)];
       }
     }
+    return 0;
+  };
+  auto eval_index = [&](const IndexExpr& ix, std::size_t i,
+                        std::int64_t j) -> std::uint32_t {
+    const std::int64_t v = eval_position(ix, i, j);
     SAPP_REQUIRE(v >= 0 && static_cast<std::size_t>(v) < dim,
                  "reduction subscript out of the target's extent");
     return static_cast<std::uint32_t>(v);
+  };
+  auto eval_value = [&](const ValueExpr& ve, std::size_t i,
+                        std::int64_t j) -> double {
+    switch (ve.kind) {
+      case ValueExpr::Kind::kInputElement: {
+        auto it = bindings.value_arrays.find(ve.array);
+        SAPP_REQUIRE(it != bindings.value_arrays.end(),
+                     "value array not bound");
+        SAPP_REQUIRE(i < it->second.size(), "value array too short");
+        return it->second[i];
+      }
+      case ValueExpr::Kind::kComputed:
+        // Stand-in for arbitrary pure arithmetic on i.
+        return 0.5 + static_cast<double>((i * 2654435761u) % 1024) / 1024.0;
+      case ValueExpr::Kind::kArrayRead: {
+        auto it = bindings.value_arrays.find(ve.array);
+        SAPP_REQUIRE(it != bindings.value_arrays.end(),
+                     "read value array not bound");
+        const std::int64_t pos = eval_position(ve.index, i, j);
+        SAPP_REQUIRE(pos >= 0 && static_cast<std::size_t>(pos) <
+                                     it->second.size(),
+                     "value array subscript out of range");
+        return it->second[static_cast<std::size_t>(pos)];
+      }
+    }
+    return 1.0;
   };
 
   ReductionInput in;
@@ -144,19 +177,22 @@ ReductionInput extract_input(const LoopNest& loop,
 
   for (std::size_t i = 0; i < loop.iterations; ++i) {
     for (const Statement* st : updates) {
-      idx.push_back(eval_index(st->index, i));
-      double v = 1.0;
-      if (st->value.kind == ValueExpr::Kind::kInputElement) {
-        auto it = bindings.value_arrays.find(st->value.array);
-        SAPP_REQUIRE(it != bindings.value_arrays.end(),
-                     "value array not bound");
-        SAPP_REQUIRE(i < it->second.size(), "value array too short");
-        v = it->second[i];
-      } else if (st->value.kind == ValueExpr::Kind::kComputed) {
-        // Stand-in for arbitrary pure arithmetic on i.
-        v = 0.5 + static_cast<double>((i * 2654435761u) % 1024) / 1024.0;
+      if (st->inner) {
+        // Naive expansion of the nested accumulation: one reference per
+        // inner index. The simplification pass exists to avoid exactly
+        // this O(N·W)/O(N²) blowup; this lowering is the fallback (and
+        // the reference the simplified forms are checked against).
+        const auto si = static_cast<std::int64_t>(i);
+        const std::int64_t lo = st->inner->lo.at(si);
+        const std::int64_t hi = st->inner->hi.at(si);
+        for (std::int64_t j = lo; j < hi; ++j) {
+          idx.push_back(eval_index(st->index, i, j));
+          vals.push_back(eval_value(st->value, i, j));
+        }
+      } else {
+        idx.push_back(eval_index(st->index, i, 0));
+        vals.push_back(eval_value(st->value, i, 0));
       }
-      vals.push_back(v);
     }
     row_ptr.push_back(idx.size());
   }

@@ -27,12 +27,15 @@
 
 namespace sapp::frontend {
 
-/// Subscript expression of an array access, evaluated per iteration i.
+/// Subscript expression of an array access, evaluated per iteration i
+/// (and, inside a nested accumulation, per inner index j).
 struct IndexExpr {
   enum class Kind : std::uint8_t {
     kLoopIndex,   ///< i + offset
     kConstant,    ///< offset
     kIndirect,    ///< index_array[i + offset]  (the irregular case)
+    kInnerIndex,  ///< j + offset (only inside a Statement with an
+                  ///< InnerRange; see Statement::inner)
   };
   Kind kind = Kind::kLoopIndex;
   std::int64_t offset = 0;
@@ -47,6 +50,35 @@ struct IndexExpr {
   static IndexExpr indirect(std::string array, std::int64_t off = 0) {
     return {Kind::kIndirect, off, std::move(array)};
   }
+  static IndexExpr inner_index(std::int64_t off = 0) {
+    return {Kind::kInnerIndex, off, {}};
+  }
+};
+
+/// Affine function `scale*i + offset` of the outer loop index — the bound
+/// language of nested accumulation ranges. The simplification pass
+/// (frontend/simplify.hpp) recognizes scale 0 (fixed edge) and scale 1
+/// (edge moving with i); anything else is legal to express but falls back
+/// to the adaptive runtime.
+struct AffineExpr {
+  std::int64_t scale = 0;   ///< coefficient of the outer index i
+  std::int64_t offset = 0;
+
+  [[nodiscard]] std::int64_t at(std::int64_t i) const {
+    return scale * i + offset;
+  }
+  static AffineExpr constant(std::int64_t c) { return {0, c}; }
+  static AffineExpr of_i(std::int64_t off = 0) { return {1, off}; }
+};
+
+/// Inner accumulation range of one statement: the statement body runs for
+/// j in [lo(i), hi(i)) on every outer iteration (empty when hi <= lo).
+/// This is exactly enough structure to express the reuse-carrying shapes —
+/// prefix sums (lo fixed, hi moves with i) and sliding windows (both edges
+/// move with i) — that the simplification pass rewrites to O(N) forms.
+struct InnerRange {
+  AffineExpr lo;
+  AffineExpr hi;  ///< exclusive
 };
 
 /// Right-hand side of an update, as much structure as the analysis needs.
@@ -69,18 +101,28 @@ struct ValueExpr {
   }
 };
 
-/// One statement: `target[index] op= value`.
+/// One statement: `target[index] op= value`, optionally repeated over an
+/// inner accumulation range (`for j in [lo(i), hi(i)): ...`).
 struct Statement {
   enum class Op : std::uint8_t {
     kAssign,     ///< = (plain write; never a reduction)
     kPlusAssign, ///< += (associative & commutative)
     kMulAssign,  ///< *=
     kMaxAssign,  ///< = max(x, e)
+    kMinAssign,  ///< = min(x, e)
   };
   std::string target;
   IndexExpr index;
   Op op = Op::kPlusAssign;
   ValueExpr value;
+  /// Nested accumulation range; disengaged for the flat (classic) shape.
+  std::optional<InnerRange> inner;
+
+  Statement() = default;
+  Statement(std::string t, IndexExpr ix, Op o, ValueExpr v,
+            std::optional<InnerRange> in = std::nullopt)
+      : target(std::move(t)), index(ix), op(o), value(std::move(v)),
+        inner(in) {}
 };
 
 /// A counted loop over [0, iterations) with a straight-line body.
@@ -129,6 +171,13 @@ struct Bindings {
 /// the ReductionInput the scheme library consumes. Requires `target` to be
 /// recognized as a reduction by `analyze` (checked). `dim` is the target
 /// array's extent (subscripts are range-checked against it).
+///
+/// Statements with an InnerRange are expanded naively: outer iteration i
+/// contributes one reference per inner index j in [lo(i), hi(i)) — the
+/// O(N·W) / O(N²) lowering the simplification pass exists to avoid.
+/// ValueExpr::kArrayRead values (other than the target itself, which is
+/// never extractable) must be bound in `bindings.value_arrays` and are
+/// evaluated per (i, j).
 [[nodiscard]] ReductionInput extract_input(const LoopNest& loop,
                                            const LoopAnalysis& analysis,
                                            const std::string& target,

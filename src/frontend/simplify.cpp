@@ -1,0 +1,345 @@
+#include "frontend/simplify.hpp"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "core/runtime.hpp"
+
+namespace sapp::frontend {
+
+namespace {
+
+/// The per-iteration contribution scale the whole library applies (the
+/// LoopNest lowering runs with body_flops = 0; see AccessPattern).
+double outer_scale(std::size_t i) { return iteration_scale(i, 0); }
+
+bool op_supported(Statement::Op op) {
+  return op == Statement::Op::kPlusAssign || op == Statement::Op::kMaxAssign ||
+         op == Statement::Op::kMinAssign;
+}
+
+double apply_op(Statement::Op op, double acc, double v) {
+  switch (op) {
+    case Statement::Op::kAssign: return v;
+    case Statement::Op::kPlusAssign: return acc + v;
+    case Statement::Op::kMulAssign: return acc * v;
+    case Statement::Op::kMaxAssign: return acc > v ? acc : v;
+    case Statement::Op::kMinAssign: return acc < v ? acc : v;
+  }
+  return v;
+}
+
+/// Recognize the shape of one already-recognized reduction statement.
+void classify(const LoopNest& loop, const Statement& st,
+              SiteSimplification& s) {
+  (void)loop;
+  if (!st.inner) {
+    s.reason = "no inner accumulation range (flat site)";
+    return;
+  }
+  if (st.index.kind != IndexExpr::Kind::kLoopIndex) {
+    s.reason = "target subscript is not the outer loop index";
+    return;
+  }
+  if (st.value.kind != ValueExpr::Kind::kArrayRead ||
+      st.value.index.kind != IndexExpr::Kind::kInnerIndex) {
+    s.reason = "value does not stream the inner index";
+    return;
+  }
+  const AffineExpr lo = st.inner->lo;
+  const AffineExpr hi = st.inner->hi;
+  if (lo.scale == 0 && hi.scale == 1) {
+    // Growing range [b, i+d): the prefix shape. The running scan works
+    // for any ⊕ that commutes with the per-iteration scale s(i): + does
+    // (s·Σv = Σ s·v), min/max do (s > 0, rounding is monotone); a product
+    // would need s(i)^count, which the scan cannot reproduce exactly.
+    if (!op_supported(s.op)) {
+      s.reason = "operator does not commute with the per-iteration scale";
+      return;
+    }
+    s.form = SimplifiedForm::kPrefixScan;
+    s.stmt = &st;
+    return;
+  }
+  if (lo.scale == 1 && hi.scale == 1) {
+    const std::int64_t w = hi.offset - lo.offset;
+    if (w <= 0) {
+      s.reason = "empty sliding window";
+      return;
+    }
+    s.window = w;
+    if (s.op == Statement::Op::kPlusAssign) {
+      s.form = SimplifiedForm::kSlidingSum;  // + is invertible: add-subtract
+      s.stmt = &st;
+    } else if (s.op == Statement::Op::kMaxAssign ||
+               s.op == Statement::Op::kMinAssign) {
+      s.form = SimplifiedForm::kSlidingExtremum;  // monotonic deque
+      s.stmt = &st;
+    } else {
+      s.reason = "non-invertible operator over a sliding window";
+    }
+    return;
+  }
+  s.reason = "inner range shape not recognized (lo scale " +
+             std::to_string(lo.scale) + ", hi scale " +
+             std::to_string(hi.scale) + ")";
+}
+
+}  // namespace
+
+SimplifyAnalysis analyze_simplify(const LoopNest& loop,
+                                  const LoopAnalysis& analysis) {
+  SimplifyAnalysis out;
+  for (const ArrayAnalysis& aa : analysis.arrays) {
+    SiteSimplification s{};
+    s.array = aa.array;
+    s.op = aa.op;
+    if (!aa.is_reduction) {
+      // Carry the recognition diagnostic through: every analyze rejection
+      // is a simplify rejection with the same reason.
+      s.reason = aa.reason;
+      out.sites.push_back(std::move(s));
+      continue;
+    }
+    const Statement* only = nullptr;
+    bool multiple = false;
+    for (const Statement& st : loop.body) {
+      if (st.target != aa.array) continue;
+      if (only != nullptr) multiple = true;
+      only = &st;
+    }
+    SAPP_ASSERT(only != nullptr, "recognized reduction with no statement");
+    if (multiple) {
+      // Two interleaved accumulations into one array need the general
+      // machinery — exactly the irregular case the runtime handles.
+      s.reason = "multiple update statements on " + aa.array;
+    } else {
+      classify(loop, *only, s);
+    }
+    out.sites.push_back(std::move(s));
+  }
+  return out;
+}
+
+void execute_simplified(const LoopNest& loop, const SiteSimplification& site,
+                        std::size_t dim, const Bindings& bindings,
+                        std::span<double> out) {
+  SAPP_REQUIRE(site.form != SimplifiedForm::kNone,
+               "execute_simplified on an unsimplified site");
+  SAPP_REQUIRE(out.size() == dim, "output size mismatch");
+  const Statement& st = *site.stmt;
+  auto vit = bindings.value_arrays.find(st.value.array);
+  SAPP_REQUIRE(vit != bindings.value_arrays.end(), "read value array not bound");
+  const std::vector<double>& in = vit->second;
+  const std::int64_t toff = st.index.offset;   // out position = i + toff
+  const std::int64_t voff = st.value.index.offset;  // read in[j + voff]
+  const std::int64_t n = static_cast<std::int64_t>(loop.iterations);
+
+  auto out_at = [&](std::int64_t i) -> double& {
+    const std::int64_t p = i + toff;
+    SAPP_REQUIRE(p >= 0 && static_cast<std::size_t>(p) < dim,
+                 "reduction subscript out of the target's extent");
+    return out[static_cast<std::size_t>(p)];
+  };
+  auto in_at = [&](std::int64_t j) -> double {
+    const std::int64_t p = j + voff;
+    SAPP_REQUIRE(p >= 0 && static_cast<std::size_t>(p) < in.size(),
+                 "value array subscript out of range");
+    return in[static_cast<std::size_t>(p)];
+  };
+
+  switch (site.form) {
+    case SimplifiedForm::kPrefixScan: {
+      // Range [b, i+d): extend the running fold by the new edge elements,
+      // one ⊕ each — O(N + total-new-elements) instead of O(Σ range).
+      const std::int64_t b = st.inner->lo.offset;
+      const std::int64_t d = st.inner->hi.offset;
+      double acc = 0.0;
+      bool have = false;
+      std::int64_t next = b;
+      for (std::int64_t i = 0; i < n; ++i) {
+        const std::int64_t end = i + d;
+        while (next < end) {
+          const double v = in_at(next);
+          acc = have ? apply_op(st.op, acc, v) : v;
+          have = true;
+          ++next;
+        }
+        if (end <= b || !have) continue;  // empty range: no contribution
+        const double s = outer_scale(static_cast<std::size_t>(i));
+        double& o = out_at(i);
+        o = apply_op(st.op, o, acc * s);
+      }
+      return;
+    }
+    case SimplifiedForm::kSlidingSum: {
+      // Window [i+a, i+a+W): add the entering edge, subtract the leaving
+      // one — the invertibility of + pays for the whole window once.
+      const std::int64_t a = st.inner->lo.offset;
+      const std::int64_t w = site.window;
+      if (n == 0) return;
+      double wsum = 0.0;
+      for (std::int64_t j = a; j < a + w; ++j) wsum += in_at(j);
+      for (std::int64_t i = 0; i < n; ++i) {
+        if (i > 0) wsum += in_at(i + a + w - 1) - in_at(i + a - 1);
+        out_at(i) += wsum * outer_scale(static_cast<std::size_t>(i));
+      }
+      return;
+    }
+    case SimplifiedForm::kSlidingExtremum: {
+      // Monotonic deque of window positions; the front is always the
+      // extremum. Each position enters and leaves once: amortized O(1).
+      const std::int64_t a = st.inner->lo.offset;
+      const std::int64_t w = site.window;
+      const bool is_max = st.op == Statement::Op::kMaxAssign;
+      std::vector<std::int64_t> dq(static_cast<std::size_t>(w));
+      std::size_t head = 0, tail = 0;  // [head, tail) into dq, wrapped
+      auto dq_at = [&](std::size_t k) -> std::int64_t& {
+        return dq[k % static_cast<std::size_t>(w)];
+      };
+      auto beats = [&](double cand, double old) {
+        return is_max ? cand >= old : cand <= old;
+      };
+      std::int64_t filled = a;  // next position to push
+      for (std::int64_t i = 0; i < n; ++i) {
+        const std::int64_t lo_p = i + a;
+        // Retire the leaving edge first so the ring never holds more than
+        // W live positions while the entering edge is pushed.
+        while (tail > head && dq_at(head) < lo_p) ++head;
+        for (; filled < lo_p + w; ++filled) {
+          const double v = in_at(filled);
+          while (tail > head && beats(v, in_at(dq_at(tail - 1)))) --tail;
+          dq_at(tail++) = filled;
+        }
+        SAPP_ASSERT(tail > head, "sliding deque emptied");
+        const double m = in_at(dq_at(head));
+        const double s = outer_scale(static_cast<std::size_t>(i));
+        double& o = out_at(i);
+        o = apply_op(st.op, o, m * s);
+      }
+      return;
+    }
+    case SimplifiedForm::kNone: break;
+  }
+}
+
+void interpret_loop(const LoopNest& loop, const std::string& target,
+                    std::size_t dim, const Bindings& bindings,
+                    std::span<double> out) {
+  SAPP_REQUIRE(out.size() == dim, "output size mismatch");
+  auto eval_position = [&](const IndexExpr& ix, std::size_t i,
+                           std::int64_t j) -> std::int64_t {
+    switch (ix.kind) {
+      case IndexExpr::Kind::kLoopIndex:
+        return static_cast<std::int64_t>(i) + ix.offset;
+      case IndexExpr::Kind::kConstant: return ix.offset;
+      case IndexExpr::Kind::kInnerIndex: return j + ix.offset;
+      case IndexExpr::Kind::kIndirect: {
+        auto it = bindings.index_arrays.find(ix.index_array);
+        SAPP_REQUIRE(it != bindings.index_arrays.end(),
+                     "index array not bound");
+        const auto pos = static_cast<std::int64_t>(i) + ix.offset;
+        SAPP_REQUIRE(pos >= 0 && static_cast<std::size_t>(pos) <
+                                     it->second.size(),
+                     "index array subscript out of range");
+        return it->second[static_cast<std::size_t>(pos)];
+      }
+    }
+    return 0;
+  };
+  auto eval_value = [&](const ValueExpr& ve, std::size_t i,
+                        std::int64_t j) -> double {
+    switch (ve.kind) {
+      case ValueExpr::Kind::kInputElement: {
+        auto it = bindings.value_arrays.find(ve.array);
+        SAPP_REQUIRE(it != bindings.value_arrays.end(),
+                     "value array not bound");
+        SAPP_REQUIRE(i < it->second.size(), "value array too short");
+        return it->second[i];
+      }
+      case ValueExpr::Kind::kComputed:
+        return 0.5 + static_cast<double>((i * 2654435761u) % 1024) / 1024.0;
+      case ValueExpr::Kind::kArrayRead: {
+        if (ve.array == target) {
+          // Self-read: the statement consumes the target's current state
+          // (the shape analyze() rejects; the serial interpreter is the
+          // only executor that can honour it).
+          const std::int64_t p = eval_position(ve.index, i, j);
+          SAPP_REQUIRE(p >= 0 && static_cast<std::size_t>(p) < dim,
+                       "self-read subscript out of the target's extent");
+          return out[static_cast<std::size_t>(p)];
+        }
+        auto it = bindings.value_arrays.find(ve.array);
+        SAPP_REQUIRE(it != bindings.value_arrays.end(),
+                     "read value array not bound");
+        const std::int64_t p = eval_position(ve.index, i, j);
+        SAPP_REQUIRE(p >= 0 && static_cast<std::size_t>(p) <
+                                   it->second.size(),
+                     "value array subscript out of range");
+        return it->second[static_cast<std::size_t>(p)];
+      }
+    }
+    return 1.0;
+  };
+
+  for (std::size_t i = 0; i < loop.iterations; ++i) {
+    const double s = outer_scale(i);
+    for (const Statement& st : loop.body) {
+      if (st.target != target) continue;
+      const std::int64_t lo =
+          st.inner ? st.inner->lo.at(static_cast<std::int64_t>(i)) : 0;
+      const std::int64_t hi =
+          st.inner ? st.inner->hi.at(static_cast<std::int64_t>(i)) : 1;
+      for (std::int64_t j = lo; j < hi; ++j) {
+        const std::int64_t p = eval_position(st.index, i, j);
+        SAPP_REQUIRE(p >= 0 && static_cast<std::size_t>(p) < dim,
+                     "reduction subscript out of the target's extent");
+        const double v = eval_value(st.value, i, j) * s;
+        double& o = out[static_cast<std::size_t>(p)];
+        o = apply_op(st.op, o, v);
+      }
+    }
+  }
+}
+
+FrontendResult submit_simplified(Runtime& rt, const LoopNest& loop,
+                                 const std::string& target, std::size_t dim,
+                                 const Bindings& bindings,
+                                 std::span<double> out) {
+  const LoopAnalysis analysis = analyze(loop);
+  const SimplifyAnalysis sa = analyze_simplify(loop, analysis);
+  const SiteSimplification* site = sa.find(target);
+  SAPP_REQUIRE(site != nullptr, "target not updated by this loop");
+
+  FrontendResult r;
+  if (site->form != SimplifiedForm::kNone) {
+    execute_simplified(loop, *site, dim, bindings, out);
+    r.simplified = true;
+    r.form = site->form;
+    return r;
+  }
+
+  r.fallback_reason =
+      site->reason.empty() ? "unrecognized" : site->reason;
+  const ArrayAnalysis* aa = analysis.find(target);
+  SAPP_ASSERT(aa != nullptr, "analysis covers every target");
+  if (aa->is_reduction && aa->op == Statement::Op::kPlusAssign) {
+    // The untouched fallback: lower to the flattened pattern and hand the
+    // site to the adaptive runtime like any irregular reduction.
+    const ReductionInput in = extract_input(loop, analysis, target, dim,
+                                            bindings);
+    const std::string site_id =
+        (loop.name.empty() ? std::string("<loop>") : loop.name) + "/" + target;
+    r.runtime_result = rt.submit(site_id, in, out);
+    r.used_runtime = true;
+  } else {
+    // Non-reductions and non-sum operators: the scheme library implements
+    // the paper's ⊕ = + (§6.1), so these run serially.
+    interpret_loop(loop, target, dim, bindings, out);
+  }
+  return r;
+}
+
+}  // namespace sapp::frontend

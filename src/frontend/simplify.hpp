@@ -1,0 +1,134 @@
+// Reduction simplification — the frontend optimization pass.
+//
+// The adaptive runtime can only pick the fastest way to *run* a reduction;
+// it can never remove work the compiler could have deleted. In the spirit
+// of Narmour et al. ("Maximal Simplification of Polyhedral Reductions")
+// and Yang et al. ("Simplifying Dependent Reductions in the Polyhedral
+// Model"), this pass walks a LoopNest, finds reduction sites whose nested
+// accumulation ranges overlap between adjacent outer iterations, and
+// rewrites them to forms that exploit the reuse:
+//
+//   prefix shape    out[i] ⊕= in[j]  for j in [b, i+d)      (fixed lo edge)
+//     → running scan: one ⊕ per new element, O(N) total.
+//   sliding window  out[i] ⊕= in[j]  for j in [i+a, i+a+W)  (both edges move)
+//     → add–subtract (⊕ = +, the invertible case): enter/leave edge
+//       updates, O(N) total; or
+//     → monotonic deque (⊕ = min/max): amortized O(1) per slide.
+//
+// Everything the recognizer cannot prove regular falls back *untouched* to
+// the adaptive runtime (docs/simplify.md spells out the contract): the
+// site is lowered through extract_input and submitted like any irregular
+// reduction, with the rejection reason kept for diagnostics. A simplified
+// site bypasses the runtime entirely — no characterization, no site-table
+// entry, no decision cache traffic.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "frontend/loop_ir.hpp"
+#include "reductions/scheme.hpp"
+
+namespace sapp {
+class Runtime;
+}
+
+namespace sapp::frontend {
+
+/// The rewrite a recognized site is executed with.
+enum class SimplifiedForm : std::uint8_t {
+  kNone,            ///< not simplified — adaptive-runtime territory
+  kPrefixScan,      ///< running scan over a growing range (any ⊕)
+  kSlidingSum,      ///< add–subtract over a moving window (⊕ = +)
+  kSlidingExtremum, ///< monotonic deque over a moving window (⊕ = min/max)
+};
+
+[[nodiscard]] constexpr const char* to_string(SimplifiedForm f) {
+  switch (f) {
+    case SimplifiedForm::kNone: return "none";
+    case SimplifiedForm::kPrefixScan: return "prefix-scan";
+    case SimplifiedForm::kSlidingSum: return "sliding-add-sub";
+    case SimplifiedForm::kSlidingExtremum: return "sliding-deque";
+  }
+  return "?";
+}
+
+/// Outcome of the recognition+legality analysis for one target array.
+struct SiteSimplification {
+  std::string array;
+  SimplifiedForm form = SimplifiedForm::kNone;
+  Statement::Op op = Statement::Op::kPlusAssign;
+  /// Window width W for the sliding forms (hi.offset - lo.offset).
+  std::int64_t window = 0;
+  /// Why the site was left to the runtime (empty when simplified). For
+  /// sites `analyze` already rejected this carries the analyze reason.
+  std::string reason;
+  /// The single recognized update statement (null when form == kNone).
+  const Statement* stmt = nullptr;
+};
+
+/// Whole-loop simplification analysis (one entry per target array of the
+/// loop, in the order LoopAnalysis reports them).
+struct SimplifyAnalysis {
+  std::vector<SiteSimplification> sites;
+
+  [[nodiscard]] const SiteSimplification* find(const std::string& a) const {
+    for (const auto& s : sites)
+      if (s.array == a) return &s;
+    return nullptr;
+  }
+};
+
+/// Recognition + legality. Pure static analysis: no data is consulted, so
+/// the verdict holds for every binding. `analysis` must come from
+/// `analyze(loop)`.
+[[nodiscard]] SimplifyAnalysis analyze_simplify(const LoopNest& loop,
+                                                const LoopAnalysis& analysis);
+
+/// Execute one simplified site, accumulating into `out` (size `dim`).
+/// Requires `site.form != kNone` (checked). All array reads are
+/// range-checked against the bound arrays and `dim`.
+void execute_simplified(const LoopNest& loop, const SiteSimplification& site,
+                        std::size_t dim, const Bindings& bindings,
+                        std::span<double> out);
+
+/// Reference interpreter: run every statement of `loop` that targets
+/// `target` naively (O(total contributions)), in iteration/body order —
+/// the ground truth the simplified forms and the runtime lowering are
+/// differenced against, and the serial fallback for loops the runtime
+/// cannot execute. A contribution is `value * iteration_scale(i, 0)`,
+/// matching the extract_input → scheme-library semantics; kArrayRead of
+/// the target itself reads the current contents of `out`.
+void interpret_loop(const LoopNest& loop, const std::string& target,
+                    std::size_t dim, const Bindings& bindings,
+                    std::span<double> out);
+
+/// Outcome of a front-end submission (see submit_simplified).
+struct FrontendResult {
+  /// True when the rewritten O(N) form ran and the runtime was bypassed.
+  bool simplified = false;
+  SimplifiedForm form = SimplifiedForm::kNone;
+  /// Why the site fell back (empty when simplified).
+  std::string fallback_reason;
+  /// Set when the adaptive runtime executed the site (fallback, ⊕ = +).
+  bool used_runtime = false;
+  /// The runtime's scheme result when used_runtime (zeroed otherwise).
+  SchemeResult runtime_result;
+};
+
+/// Submit one reduction target of `loop` through the simplification pass:
+///   * recognized sites run the rewritten O(N) form directly and never
+///     touch `rt` (no characterization, no site table entry);
+///   * unrecognized + reductions are lowered with extract_input and
+///     submitted to the adaptive runtime under site id
+///     "<loop.name>/<target>" (the untouched-fallback contract);
+///   * everything else (non-reductions, non-sum rejected sites — the
+///     runtime's schemes implement the paper's ⊕ = +) runs through the
+///     sequential interpreter.
+FrontendResult submit_simplified(Runtime& rt, const LoopNest& loop,
+                                 const std::string& target, std::size_t dim,
+                                 const Bindings& bindings,
+                                 std::span<double> out);
+
+}  // namespace sapp::frontend

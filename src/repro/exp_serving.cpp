@@ -327,6 +327,12 @@ ExperimentResult run_serving(RunContext& ctx) {
   res.metric("store_flush_failures", static_cast<double>(flush_failures));
   res.metric("store_entries_end", static_cast<double>(store_entries));
   res.metric("sanity_mismatches", static_cast<double>(mismatches));
+  // A nonzero invalid count means a client produced a negative/NaN
+  // latency — a harness timer bug, so fail the run loudly right here.
+  SAPP_REQUIRE(merged.invalid_samples() == 0,
+               "serving harness recorded invalid (negative/NaN) latencies");
+  res.metric("invalid_latency_samples",
+             static_cast<double>(merged.invalid_samples()));
   res.metric("restart_reps", reps - 1);
   res.metric("restart_store_entries_min",
              static_cast<double>(restart_entries_min));

@@ -1,0 +1,293 @@
+// Frontend simplification ablation:
+//   simplify — rewritten O(N) reductions vs the best adaptive scheme.
+//
+// The adaptive runtime picks the fastest way to *execute* a reduction; the
+// frontend pass (frontend/simplify.hpp) deletes work instead. This
+// experiment makes that separation measurable: for the prefix-sum and
+// sliding-window shapes it times the steady-state adaptive execution of
+// the naive O(N²)/O(N·W) lowering (site already characterized and decided
+// — first-invocation costs excluded, which favors the runtime) against the
+// rewritten form, over a ladder of sizes. The speedup must *grow* with N:
+// no scheme choice recovers an asymptotic difference.
+//
+// Correctness is gated by a 240-case differential grid (2 shapes × 3
+// operators × 8 sizes × 5 seeds): every simplified result is differenced
+// against the sequential reference interpreter — bitwise for min/max (the
+// deque rewrite reorders no arithmetic), tolerance for + (the scan and
+// add–subtract forms reassociate) — and every ⊕ = + case additionally
+// runs the untouched-fallback leg (extract_input → Runtime::submit) to
+// show the pass's two paths agree. CI gates on `simplify_speedup_min`,
+// `differential_mismatches` and `fallback_mismatches`.
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/timer.hpp"
+#include "core/runtime.hpp"
+#include "frontend/simplify.hpp"
+#include "repro/registry.hpp"
+#include "workloads/workload.hpp"
+
+namespace sapp::repro {
+
+namespace {
+
+using frontend::Statement;
+
+RuntimeOptions runtime_options(RunContext& ctx) {
+  RuntimeOptions o;
+  o.threads = ctx.threads();
+  o.coeffs = &ctx.coeffs();  // skip per-Runtime calibration
+  return o;
+}
+
+/// Seconds per call of `body`, repeated until ~2 ms of work accumulates
+/// (the rewritten forms run in microseconds at the ladder sizes).
+template <typename F>
+double seconds_per_call(F&& body) {
+  Timer t;
+  std::size_t reps = 0;
+  do {
+    body();
+    ++reps;
+  } while (t.seconds() < 2e-3);
+  return t.seconds() / static_cast<double>(reps);
+}
+
+/// |a-b| <= tol * max(1, |a|, |b|) everywhere. The + rewrites reassociate,
+/// so sums are compared to a tolerance; min/max are compared bitwise.
+bool within_tolerance(const std::vector<double>& a,
+                      const std::vector<double>& b, double tol) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double scale = std::max({1.0, std::abs(a[i]), std::abs(b[i])});
+    if (!(std::abs(a[i] - b[i]) <= tol * scale)) return false;
+  }
+  return true;
+}
+
+bool bitwise_equal(const std::vector<double>& a,
+                   const std::vector<double>& b) {
+  return a.size() == b.size() &&
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0;
+}
+
+/// Deterministic nonzero initial accumulator contents: the rewrites must
+/// fold *into* whatever the caller left in `out`, not overwrite it.
+std::vector<double> initial_out(std::size_t dim) {
+  std::vector<double> out(dim);
+  for (std::size_t k = 0; k < dim; ++k)
+    out[k] = 0.3 * static_cast<double>((k % 7) + 1);
+  return out;
+}
+
+struct LadderSpec {
+  const char* shape;  ///< "prefix" / "sliding"
+  std::size_t n;
+  std::size_t w;  ///< 0 for prefix
+};
+
+/// One speedup-ladder row: steady-state adaptive vs rewritten form.
+void run_ladder_row(RunContext& ctx, Runtime& rt, const LadderSpec& spec,
+                    ResultTable& table, double& speedup_out,
+                    std::string& form_out, std::size_t& mismatches) {
+  const std::uint64_t seed = 9000 + spec.n;
+  const workloads::LoopWorkload wl =
+      spec.w == 0 ? workloads::make_prefix_sum(spec.n, seed)
+                  : workloads::make_sliding_window(spec.n, spec.w, seed);
+
+  // Adaptive leg: lower through the inspector once (amortized, untimed)
+  // and warm the site so characterize/decide are off the timed path.
+  const frontend::LoopAnalysis la = frontend::analyze(wl.nest);
+  const ReductionInput in =
+      frontend::extract_input(wl.nest, la, wl.target, wl.dim, wl.bindings);
+  const std::string site_id = "ladder/" + wl.loop;
+  std::vector<double> scratch(wl.dim, 0.0);
+  (void)rt.submit(site_id, in, scratch);
+  const double adaptive_s = ctx.measure([&] {
+    return seconds_per_call([&] { (void)rt.submit(site_id, in, scratch); });
+  });
+
+  // Simplified leg through the same public entry point the ladder's
+  // adaptive leg bypasses.
+  frontend::FrontendResult fr;
+  const double simplified_s = ctx.measure([&] {
+    return seconds_per_call([&] {
+      fr = frontend::submit_simplified(rt, wl.nest, wl.target, wl.dim,
+                                       wl.bindings, scratch);
+    });
+  });
+  SAPP_REQUIRE(fr.simplified, "ladder workload was not simplified");
+
+  // Correctness of this exact row (the grid covers the small sizes).
+  std::vector<double> simp(wl.dim, 0.0), ref(wl.dim, 0.0);
+  (void)frontend::submit_simplified(rt, wl.nest, wl.target, wl.dim,
+                                    wl.bindings, simp);
+  frontend::interpret_loop(wl.nest, wl.target, wl.dim, wl.bindings, ref);
+  if (!within_tolerance(simp, ref, 1e-9)) ++mismatches;
+
+  const std::string scheme = [&] {
+    const DecisionCache snap = rt.snapshot_decisions();
+    const CachedDecision* d = snap.find(site_id);
+    return d != nullptr ? std::string(to_string(d->scheme))
+                        : std::string("?");
+  }();
+
+  speedup_out = simplified_s > 0.0 ? adaptive_s / simplified_s : 0.0;
+  form_out = to_string(fr.form);
+  table.add_row({std::string(spec.shape), static_cast<double>(spec.n),
+                 static_cast<double>(spec.w), form_out, scheme,
+                 round_to(adaptive_s * 1e3, 4),
+                 round_to(simplified_s * 1e6, 3),
+                 round_to(speedup_out, 1)});
+}
+
+ExperimentResult run_simplify(RunContext& ctx) {
+  const double scale = ctx.scale(1.0);
+  const auto scaled = [&](std::size_t n) {
+    return std::max<std::size_t>(
+        64, static_cast<std::size_t>(static_cast<double>(n) * scale));
+  };
+
+  std::vector<LadderSpec> ladder;
+  if (ctx.tiny()) {
+    for (const std::size_t n : {64u, 128u, 256u})
+      ladder.push_back({"prefix", n, 0});
+    for (const std::size_t n : {256u, 512u, 1024u})
+      ladder.push_back({"sliding", n, 16});
+  } else {
+    for (const std::size_t n : {256u, 512u, 1024u, 2048u, 4096u})
+      ladder.push_back({"prefix", scaled(n), 0});
+    for (const std::size_t n : {4096u, 16384u, 65536u, 262144u})
+      ladder.push_back({"sliding", scaled(n), 64});
+  }
+
+  Runtime rt(runtime_options(ctx));
+
+  ExperimentResult res;
+  ResultTable t("simplify_speedup",
+                {"Shape", "N", "W", "Form", "Adaptive scheme", "Adaptive ms",
+                 "Simplified us", "Speedup"});
+
+  std::size_t ladder_mismatches = 0;
+  double prefix_first = 0.0, prefix_last = 0.0;
+  double sliding_first = 0.0, sliding_last = 0.0;
+  std::string form;
+  for (const LadderSpec& spec : ladder) {
+    double speedup = 0.0;
+    run_ladder_row(ctx, rt, spec, t, speedup, form, ladder_mismatches);
+    if (std::string_view(spec.shape) == "prefix") {
+      if (prefix_first == 0.0) prefix_first = speedup;
+      prefix_last = speedup;
+    } else {
+      if (sliding_first == 0.0) sliding_first = speedup;
+      sliding_last = speedup;
+    }
+  }
+  res.tables.push_back(std::move(t));
+
+  // --- 240-case differential grid --------------------------------------
+  // Static shape/op/size/seed cross product; every case differences the
+  // simplified execution against the reference interpreter, and the ⊕ = +
+  // cases additionally run the untouched runtime fallback.
+  const Statement::Op ops[] = {Statement::Op::kPlusAssign,
+                               Statement::Op::kMaxAssign,
+                               Statement::Op::kMinAssign};
+  const std::size_t sizes[] = {1, 2, 3, 7, 33, 128, 257, 1024};
+  std::size_t diff_cases = 0, diff_mismatches = 0;
+  std::size_t fallback_cases = 0, fallback_mismatches = 0;
+
+  Runtime diff_rt(runtime_options(ctx));
+  for (int shape = 0; shape < 2; ++shape)
+    for (const Statement::Op op : ops)
+      for (std::size_t si = 0; si < std::size(sizes); ++si)
+        for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+          const std::size_t n = sizes[si];
+          // Window sweep covers w = 1, w < n, and w > n (padded input).
+          const std::size_t w = 1 + (si * 5 + seed * 13) % (n + 4);
+          const workloads::LoopWorkload wl =
+              shape == 0 ? workloads::make_prefix_sum(n, 40 + seed, op)
+                         : workloads::make_sliding_window(n, w, 40 + seed, op);
+
+          const std::vector<double> out0 = initial_out(wl.dim);
+          std::vector<double> ref = out0;
+          frontend::interpret_loop(wl.nest, wl.target, wl.dim, wl.bindings,
+                                   ref);
+
+          std::vector<double> simp = out0;
+          const frontend::FrontendResult fr = frontend::submit_simplified(
+              diff_rt, wl.nest, wl.target, wl.dim, wl.bindings, simp);
+          SAPP_REQUIRE(fr.simplified, "grid workload was not simplified");
+          ++diff_cases;
+          const bool ok = op == Statement::Op::kPlusAssign
+                              ? within_tolerance(simp, ref, 1e-9)
+                              : bitwise_equal(simp, ref);
+          if (!ok) ++diff_mismatches;
+
+          if (op == Statement::Op::kPlusAssign) {
+            // Untouched-fallback leg: the same site lowered naively and
+            // executed by the adaptive runtime must agree with the
+            // reference too (association differs, hence tolerance).
+            const frontend::LoopAnalysis la = frontend::analyze(wl.nest);
+            const ReductionInput in = frontend::extract_input(
+                wl.nest, la, wl.target, wl.dim, wl.bindings);
+            std::vector<double> fb = out0;
+            (void)diff_rt.submit(
+                "diff/" + std::to_string(shape) + "/" + std::to_string(si) +
+                    "/" + std::to_string(seed),
+                in, fb);
+            ++fallback_cases;
+            if (!within_tolerance(fb, ref, 1e-9)) ++fallback_mismatches;
+          }
+        }
+
+  res.metric("ladder_rows", static_cast<double>(ladder.size()));
+  res.metric("ladder_mismatches", static_cast<double>(ladder_mismatches));
+  res.metric("prefix_speedup_smallest_n", round_to(prefix_first, 1));
+  res.metric("prefix_speedup_largest_n", round_to(prefix_last, 1));
+  res.metric("sliding_speedup_smallest_n", round_to(sliding_first, 1));
+  res.metric("sliding_speedup_largest_n", round_to(sliding_last, 1));
+  // The CI gate: both shapes must beat the best adaptive scheme at the
+  // largest committed size.
+  res.metric("simplify_speedup_min",
+             round_to(std::min(prefix_last, sliding_last), 1));
+  res.metric("prefix_speedup_growth",
+             round_to(prefix_first > 0.0 ? prefix_last / prefix_first : 0.0,
+                      2));
+  res.metric("sliding_speedup_growth",
+             round_to(sliding_first > 0.0 ? sliding_last / sliding_first : 0.0,
+                      2));
+  res.metric("differential_cases", static_cast<double>(diff_cases));
+  res.metric("differential_mismatches", static_cast<double>(diff_mismatches));
+  res.metric("fallback_cases", static_cast<double>(fallback_cases));
+  res.metric("fallback_mismatches", static_cast<double>(fallback_mismatches));
+
+  res.note("Adaptive times are steady state: the site is characterized and "
+           "decided before timing, and the inspector lowering is excluded — "
+           "both favor the runtime. The speedup still grows with N because "
+           "the rewrite deletes O(N²)/O(N·W) work the runtime must execute.");
+  res.note("Differential grid: min/max compared bitwise (the deque rewrite "
+           "reorders no arithmetic); + compared to 1e-9 relative tolerance "
+           "(scan and add-subtract reassociate). Fallback legs run the "
+           "naive lowering through Runtime::submit.");
+  return res;
+}
+
+}  // namespace
+
+void register_simplify_experiments(ExperimentRegistry& r) {
+  r.add({.name = "simplify",
+         .title = "frontend reduction simplification vs adaptive runtime",
+         .paper_ref = "frontend pass (beyond §4: simplification)",
+         .description =
+             "Rewrite prefix-sum and sliding-window reduction sites to "
+             "O(N) forms and measure the growing speedup over the best "
+             "adaptive scheme; verify a 240-case differential grid plus "
+             "the untouched-fallback contract.",
+         .default_scale = 1.0,
+         .run = run_simplify});
+}
+
+}  // namespace sapp::repro

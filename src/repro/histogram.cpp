@@ -30,15 +30,20 @@ double LatencyHistogram::bucket_value(std::size_t bucket) {
 }
 
 void LatencyHistogram::record(double seconds) {
+  if (!(seconds >= 0.0)) {  // negative or NaN: a timer bug, not a sample
+    ++invalid_samples_;
+    return;
+  }
   ++buckets_[bucket_of(seconds)];
   ++count_;
-  sum_s_ += seconds > 0.0 ? seconds : 0.0;
+  sum_s_ += seconds;
   max_s_ = std::max(max_s_, seconds);
 }
 
 void LatencyHistogram::merge(const LatencyHistogram& other) {
   for (std::size_t b = 0; b < kBuckets; ++b) buckets_[b] += other.buckets_[b];
   count_ += other.count_;
+  invalid_samples_ += other.invalid_samples_;
   sum_s_ += other.sum_s_;
   max_s_ = std::max(max_s_, other.max_s_);
 }
@@ -46,12 +51,18 @@ void LatencyHistogram::merge(const LatencyHistogram& other) {
 double LatencyHistogram::quantile(double q) const {
   if (count_ == 0) return 0.0;
   const double clamped = std::clamp(q, 0.0, 1.0);
-  const auto rank = static_cast<std::uint64_t>(
-      std::ceil(clamped * static_cast<double>(count_)));
+  // Rank at least 1: q = 0 explicitly means "the smallest recorded
+  // latency's bucket", not a vacuous rank-0 threshold.
+  const auto rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(clamped * static_cast<double>(count_))));
   std::uint64_t seen = 0;
   for (std::size_t b = 0; b < kBuckets; ++b) {
     seen += buckets_[b];
-    if (seen >= rank && buckets_[b] > 0) return bucket_value(b);
+    // The first bucket where the cumulative count crosses the rank is
+    // non-empty by construction (rank >= 1 and `seen` only grows when a
+    // bucket holds samples).
+    if (seen >= rank) return bucket_value(b);
   }
   return bucket_value(kBuckets - 1);
 }

@@ -19,18 +19,29 @@ namespace sapp::repro {
 /// Fixed-size log-linear histogram of latencies in seconds.
 class LatencyHistogram {
  public:
-  /// Record one latency (negative/zero clamps into the first bucket).
+  /// Record one latency. Zero and sub-nanosecond durations clamp into the
+  /// first bucket; negative and NaN durations are rejected — they count
+  /// only in invalid_samples() and leave count/mean/max untouched (a
+  /// negative "latency" is a timer bug, not a fast request).
   void record(double seconds);
 
-  /// Fold `other` into this histogram.
+  /// Fold `other` into this histogram (including its invalid counter).
   void merge(const LatencyHistogram& other);
 
-  /// The q-quantile (q in [0,1]) in seconds: the representative value of
-  /// the first bucket whose cumulative count reaches q * count().
-  /// Returns 0 for an empty histogram.
+  /// The q-quantile (q in [0,1]; clamped) in seconds: the representative
+  /// value of the first bucket whose cumulative count reaches
+  /// max(1, ceil(q * count())) — so q = 0 is explicitly the min-latency
+  /// bucket and q = 1 the max-latency one. Returns 0 for an empty
+  /// histogram.
   [[nodiscard]] double quantile(double q) const;
 
   [[nodiscard]] std::uint64_t count() const { return count_; }
+  /// Rejected record() calls (negative or NaN duration). The serving
+  /// harness asserts this stays zero — a nonzero value means a client
+  /// thread produced a nonsense timing.
+  [[nodiscard]] std::uint64_t invalid_samples() const {
+    return invalid_samples_;
+  }
   /// Arithmetic mean of the recorded latencies (exact, not bucketed).
   [[nodiscard]] double mean() const {
     return count_ == 0 ? 0.0 : sum_s_ / static_cast<double>(count_);
@@ -50,6 +61,7 @@ class LatencyHistogram {
 
   std::array<std::uint64_t, kBuckets> buckets_{};
   std::uint64_t count_ = 0;
+  std::uint64_t invalid_samples_ = 0;
   double sum_s_ = 0.0;
   double max_s_ = 0.0;
 };

@@ -42,6 +42,7 @@ ExperimentRegistry& builtin_experiments() {
     register_serving_experiments(*r);
     register_checking_experiments(*r);
     register_kernel_experiments(*r);
+    register_simplify_experiments(*r);
     return r;
   }();
   return *registry;

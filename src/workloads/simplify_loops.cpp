@@ -1,0 +1,78 @@
+// Frontend-level workloads with exploitable cross-iteration reuse — the
+// inputs of the reduction simplification pass (frontend/simplify.hpp).
+//
+// Unlike every other generator here, these do NOT flatten to a
+// ReductionInput: the whole point is that adjacent outer iterations'
+// accumulation ranges overlap almost completely (a prefix grows by one
+// element, a window slides by one), and that reuse only exists at the
+// LoopNest level. Flattening first is what turns O(N) of information into
+// O(N²)/O(N·W) of work — the asymptotic gap `sapp_repro simplify`
+// measures.
+#include "workloads/workload.hpp"
+
+namespace sapp::workloads {
+
+namespace {
+
+/// Positive values in [0.5, 1.5): keeps the add–subtract sliding rewrite
+/// well-conditioned (no cancellation) and window sums O(w).
+std::vector<double> positive_values(std::size_t n, Rng& rng) {
+  std::vector<double> v(n);
+  for (auto& x : v) x = 0.5 + rng.uniform();
+  return v;
+}
+
+}  // namespace
+
+LoopWorkload make_prefix_sum(std::size_t n, std::uint64_t seed,
+                             frontend::Statement::Op op) {
+  using namespace frontend;
+  Rng rng(seed ^ 0x5f12a3c9d48bee01ull);
+  LoopWorkload w;
+  w.app = "PrefixSum";
+  w.loop = "scan" + std::to_string(n);
+  w.target = "out";
+  w.dim = n;
+  w.nest.name = w.app + "/" + w.loop;
+  w.nest.iterations = n;
+  // for i: for j in [0, i+1): out[i] ⊕= in[j]
+  Statement st;
+  st.target = "out";
+  st.index = IndexExpr::loop_index();
+  st.op = op;
+  st.value = ValueExpr::array_read("in", IndexExpr::inner_index());
+  st.inner = InnerRange{AffineExpr::constant(0), AffineExpr::of_i(1)};
+  w.nest.body.push_back(std::move(st));
+  w.bindings.value_arrays["in"] = positive_values(n, rng);
+  return w;
+}
+
+LoopWorkload make_sliding_window(std::size_t n, std::size_t win,
+                                 std::uint64_t seed,
+                                 frontend::Statement::Op op) {
+  using namespace frontend;
+  SAPP_REQUIRE(win > 0, "sliding window must be non-empty");
+  Rng rng(seed ^ 0xc0ffee1234567890ull);
+  LoopWorkload w;
+  w.app = "SlidingWindow";
+  w.loop = "win" + std::to_string(win) + "n" + std::to_string(n);
+  w.target = "out";
+  w.dim = n;
+  w.nest.name = w.app + "/" + w.loop;
+  w.nest.iterations = n;
+  // for i: for j in [i, i+w): out[i] ⊕= in[j]
+  Statement st;
+  st.target = "out";
+  st.index = IndexExpr::loop_index();
+  st.op = op;
+  st.value = ValueExpr::array_read("in", IndexExpr::inner_index());
+  st.inner = InnerRange{AffineExpr::of_i(0),
+                        AffineExpr::of_i(static_cast<std::int64_t>(win))};
+  w.nest.body.push_back(std::move(st));
+  // n-1+w input elements: the last window [n-1, n-1+w) stays in range.
+  w.bindings.value_arrays["in"] =
+      positive_values(n == 0 ? win : n - 1 + win, rng);
+  return w;
+}
+
+}  // namespace sapp::workloads

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "frontend/loop_ir.hpp"
 #include "reductions/access_pattern.hpp"
 
 namespace sapp::workloads {
@@ -124,6 +125,38 @@ struct DriftPhases {
                                                std::size_t dense_edges,
                                                std::size_t sparse_edges,
                                                std::uint64_t seed);
+
+// ---- Frontend loop workloads (reduction simplification pass) -----------
+
+/// A workload kept at the LoopNest level: the nested accumulation shape
+/// the simplification pass (frontend/simplify.hpp) consumes. The
+/// flattened ReductionInput of the adaptive runtime hides exactly the
+/// cross-iteration reuse the pass exploits, so these generators hand out
+/// the loop itself plus its runtime bindings.
+struct LoopWorkload {
+  std::string app;    ///< "PrefixSum" / "SlidingWindow"
+  std::string loop;   ///< loop name (doubles as the fallback site id stem)
+  frontend::LoopNest nest;
+  frontend::Bindings bindings;
+  std::string target;   ///< the reduction array
+  std::size_t dim = 0;  ///< extent of the target
+};
+
+/// Prefix-sum shape with maximal reuse: `out[i] ⊕= in[j]` for 0 <= j <= i
+/// over n outer iterations — O(n²) contributions naively, O(n) once the
+/// pass rewrites it to a running scan. Input values are positive
+/// (drawn in [0.5, 1.5)) so the rewritten forms stay numerically benign.
+[[nodiscard]] LoopWorkload make_prefix_sum(
+    std::size_t n, std::uint64_t seed,
+    frontend::Statement::Op op = frontend::Statement::Op::kPlusAssign);
+
+/// Sliding-window shape: `out[i] ⊕= in[j]` for i <= j < i+w — O(n·w)
+/// contributions naively, O(n) as add–subtract (⊕ = +) or a monotonic
+/// deque (⊕ = min/max). The input array carries n-1+w elements so every
+/// window is fully in range.
+[[nodiscard]] LoopWorkload make_sliding_window(
+    std::size_t n, std::size_t w, std::uint64_t seed,
+    frontend::Statement::Op op = frontend::Statement::Op::kPlusAssign);
 
 // ---- Serving mix (serving-scale stress harness) ------------------------
 

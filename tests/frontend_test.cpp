@@ -56,6 +56,8 @@ TEST(Recognize, SelfReferenceInExpressionPoisons) {
                     ValueExpr::array_read("w", IndexExpr::loop_index(1))});
   const LoopAnalysis a = analyze(l);
   EXPECT_FALSE(a.find("w")->is_reduction);
+  EXPECT_NE(a.find("w")->reason.find("occurs in its own update expression"),
+            std::string::npos);
 }
 
 TEST(Recognize, MixedOperatorsRejectedPerSection514) {
@@ -67,6 +69,8 @@ TEST(Recognize, MixedOperatorsRejectedPerSection514) {
   const LoopAnalysis a = analyze(l);
   EXPECT_FALSE(a.find("w")->is_reduction);
   EXPECT_FALSE(a.find("w")->single_operator);
+  EXPECT_NE(a.find("w")->reason.find("mixed reduction operators"),
+            std::string::npos);
 }
 
 TEST(Recognize, IndependentArraysAnalyzedSeparately) {

@@ -201,7 +201,13 @@ TEST(Topology, ParseCpulistHandlesSysfsShapes) {
   EXPECT_TRUE(parse_cpulist("").empty());
   EXPECT_TRUE(parse_cpulist("garbage").empty());
   EXPECT_EQ(parse_cpulist("3-1,4"), (std::vector<unsigned>{4}));  // hi < lo
+  EXPECT_EQ(parse_cpulist("4-2"), (std::vector<unsigned>{}));     // hi < lo
   EXPECT_EQ(parse_cpulist("x,2"), (std::vector<unsigned>{2}));
+  // Overlapping chunks are legal sysfs output: each CPU exactly once,
+  // sorted, no matter how the kernel phrased the list.
+  EXPECT_EQ(parse_cpulist("0-2,2,1"), (std::vector<unsigned>{0, 1, 2}));
+  EXPECT_EQ(parse_cpulist("2,0-1"), (std::vector<unsigned>{0, 1, 2}));
+  EXPECT_TRUE(parse_cpulist("-3").empty());  // malformed range
 }
 
 TEST(Topology, HostProbeIsSaneAndSummarizes) {

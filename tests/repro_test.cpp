@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <iterator>
 #include <set>
 #include <stdexcept>
@@ -140,6 +141,7 @@ TEST(ExperimentRegistry, BuiltinExperimentsAreStable) {
       "overhead",                "adaptive_sites",
       "phase_drift",             "serving",
       "checking",                "kernels",
+      "simplify",
   };
   const auto& reg = builtin_experiments();
   ASSERT_GE(reg.size(), 9u);
@@ -346,14 +348,62 @@ TEST(LatencyHistogram, MergeMatchesCombinedRecording) {
   EXPECT_DOUBLE_EQ(a.max(), both.max());
 }
 
+TEST(LatencyHistogram, QuantileZeroReturnsTheMinLatencyBucket) {
+  LatencyHistogram h;
+  h.record(2e-6);
+  h.record(500e-6);
+  h.record(900e-6);
+  // q = 0 means "the smallest recorded latency's bucket", never a vacuous
+  // rank-0 threshold — and q = 1 the largest.
+  EXPECT_NEAR(h.quantile(0.0), 2e-6, 2e-6 * 0.15);
+  EXPECT_NEAR(h.quantile(1.0), 900e-6, 900e-6 * 0.15);
+  EXPECT_LT(h.quantile(0.0), h.quantile(1.0));
+}
+
+TEST(LatencyHistogram, SingleSampleAnswersEveryQuantile) {
+  LatencyHistogram h;
+  h.record(3e-6);
+  for (double q : {0.0, 0.25, 0.5, 0.99, 1.0})
+    EXPECT_NEAR(h.quantile(q), 3e-6, 3e-6 * 0.15) << q;
+}
+
+TEST(LatencyHistogram, AllSamplesInOverflowBucket) {
+  // Far past the top octave: everything lands in the last bucket, and
+  // every quantile (including q = 0) reports that bucket's value.
+  LatencyHistogram h;
+  h.record(3600.0);
+  h.record(7200.0);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), h.quantile(1.0));
+  EXPECT_GT(h.quantile(0.0), 0.0);
+}
+
+TEST(LatencyHistogram, InvalidSamplesAreCountedNotRecorded) {
+  LatencyHistogram h;
+  h.record(1e-6);
+  h.record(-5.0);
+  h.record(std::nan(""));
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.invalid_samples(), 2u);
+  EXPECT_DOUBLE_EQ(h.mean(), 1e-6);   // mean/max untouched by rejects
+  EXPECT_DOUBLE_EQ(h.max(), 1e-6);
+
+  LatencyHistogram other;
+  other.record(-1.0);
+  h.merge(other);  // merge folds the invalid counter too
+  EXPECT_EQ(h.invalid_samples(), 3u);
+  EXPECT_EQ(h.count(), 1u);
+}
+
 TEST(LatencyHistogram, DegenerateInputsAreSafe) {
   LatencyHistogram h;
   EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);  // empty
   h.record(0.0);
-  h.record(-1.0);      // clock went backwards: clamp, don't crash
+  h.record(-1.0);      // clock went backwards: a timer bug, not a sample
   h.record(1e-12);     // sub-nanosecond
   h.record(3600.0);    // past the top octave: clamps to the last bucket
-  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.count(), 3u);  // the negative was rejected, not clamped
+  EXPECT_EQ(h.invalid_samples(), 1u);
   EXPECT_GT(h.quantile(1.0), 0.0);
 }
 
