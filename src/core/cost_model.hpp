@@ -75,4 +75,9 @@ struct CostPrediction {
 [[nodiscard]] std::vector<CostPrediction> predict_all(
     const PatternStats& stats, unsigned body_flops, const MachineCoeffs& mc);
 
+// The cluster-level extension of this predictor — pricing the distributed
+// strategies (message-combining, replication, owner-computes) over N nodes
+// connected by a link model — lives in core/distributed_cost.hpp, layered
+// on the task-graph simulator of sim/cluster.hpp.
+
 }  // namespace sapp

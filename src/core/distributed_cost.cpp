@@ -1,0 +1,42 @@
+#include "core/distributed_cost.hpp"
+
+#include <algorithm>
+
+namespace sapp {
+
+DistCostPrediction DistributedCostModel::predict(
+    const sim::DistWork& work, sim::DistStrategy strategy) const {
+  const sim::DistRunResult r = sim::simulate_strategy(work, strategy, cfg_);
+  DistCostPrediction p;
+  p.strategy = strategy;
+  p.total_s = r.total_s;
+  p.partial_s = r.partial_s;
+  p.exchange_s = r.exchange_s;
+  p.messages = r.messages;
+  p.bytes = r.bytes;
+  return p;
+}
+
+std::vector<DistCostPrediction> DistributedCostModel::predict_all(
+    const sim::DistWork& work) const {
+  std::vector<DistCostPrediction> out;
+  for (const sim::DistStrategy s : sim::all_dist_strategies())
+    out.push_back(predict(work, s));
+  std::stable_sort(out.begin(), out.end(),
+                   [](const DistCostPrediction& a, const DistCostPrediction& b) {
+                     return a.total_s < b.total_s;
+                   });
+  return out;
+}
+
+std::vector<DistCostPrediction> DistributedCostModel::predict_all(
+    const DistQuery& q) const {
+  return predict_all(sim::synth_work(q.dim, q.iterations, q.refs, q.sparsity,
+                                     q.body_flops, cfg_.nodes));
+}
+
+sim::DistStrategy DistributedCostModel::best(const DistQuery& q) const {
+  return predict_all(q).front().strategy;
+}
+
+}  // namespace sapp

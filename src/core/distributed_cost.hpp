@@ -1,0 +1,71 @@
+// Distributed cost model — the cluster-level extension of the per-scheme
+// predictor in core/cost_model.hpp.
+//
+// Prices the three distributed reduction strategies of sim/cluster.hpp from
+// aggregate workload shape (dim, iterations, refs, sparsity) plus cluster
+// shape (nodes, cores per node, link latency/bandwidth), and ranks them.
+// The pricing runs the *same* deterministic task-graph engine the value-
+// tracked simulation uses, so the model's best strategy is the simulation's
+// best strategy by construction — there is no separate closed-form surface
+// that could drift from the machine model it summarizes.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/cost_model.hpp"
+#include "sim/cluster.hpp"
+
+namespace sapp {
+
+/// One strategy's predicted breakdown, in seconds (sorted output of
+/// DistributedCostModel::predict_all).
+struct DistCostPrediction {
+  sim::DistStrategy strategy{};
+  double total_s = 0.0;
+  double partial_s = 0.0;   ///< slowest node-local phase
+  double exchange_s = 0.0;  ///< communication + combine tail
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+};
+
+/// Aggregate query shape: what the decision layer knows about a reduction
+/// before running it anywhere (cf. predict_cost's PatternStats input).
+struct DistQuery {
+  std::size_t dim = 0;
+  std::size_t iterations = 0;
+  std::size_t refs = 0;
+  double sparsity = 1.0;  ///< distinct/dim in (0, 1]
+  unsigned body_flops = 0;
+};
+
+/// Prices and ranks the distributed strategies for one cluster shape.
+class DistributedCostModel {
+ public:
+  explicit DistributedCostModel(sim::ClusterConfig cfg) : cfg_(cfg) {
+    SAPP_REQUIRE(cfg_.nodes >= 1, "cluster needs at least one node");
+  }
+
+  [[nodiscard]] const sim::ClusterConfig& config() const { return cfg_; }
+
+  /// Price one strategy over an exact per-node work description.
+  [[nodiscard]] DistCostPrediction predict(const sim::DistWork& work,
+                                           sim::DistStrategy strategy) const;
+
+  /// Price every strategy over `work`, sorted ascending by total_s
+  /// (ties broken by enum order, so the ranking is deterministic).
+  [[nodiscard]] std::vector<DistCostPrediction> predict_all(
+      const sim::DistWork& work) const;
+
+  /// Price every strategy from aggregate shape (synth_work slicing).
+  [[nodiscard]] std::vector<DistCostPrediction> predict_all(
+      const DistQuery& q) const;
+
+  /// The cheapest strategy for `q` on this cluster.
+  [[nodiscard]] sim::DistStrategy best(const DistQuery& q) const;
+
+ private:
+  sim::ClusterConfig cfg_;
+};
+
+}  // namespace sapp

@@ -43,6 +43,7 @@ ExperimentRegistry& builtin_experiments() {
     register_checking_experiments(*r);
     register_kernel_experiments(*r);
     register_simplify_experiments(*r);
+    register_distributed_experiments(*r);
     return r;
   }();
   return *registry;

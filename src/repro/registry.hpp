@@ -69,5 +69,6 @@ void register_serving_experiments(ExperimentRegistry& r);
 void register_checking_experiments(ExperimentRegistry& r);
 void register_kernel_experiments(ExperimentRegistry& r);
 void register_simplify_experiments(ExperimentRegistry& r);
+void register_distributed_experiments(ExperimentRegistry& r);
 
 }  // namespace sapp::repro

@@ -1,0 +1,454 @@
+#include "sim/cluster.hpp"
+
+#include <algorithm>
+#include <array>
+#include <limits>
+#include <utility>
+
+namespace sapp::sim {
+
+namespace {
+
+double apply_op(CombineOp op, double a, double b) {
+  switch (op) {
+    case CombineOp::kAdd: return a + b;
+    case CombineOp::kMax: return a > b ? a : b;
+    case CombineOp::kMin: return a < b ? a : b;
+  }
+  return a;
+}
+
+/// Contiguous iteration block of node `n` (remainder spread over the first
+/// nodes — the block schedule the shared-memory schemes use).
+struct BlockRange {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+};
+
+BlockRange iter_block(std::size_t total, unsigned nodes, unsigned n) {
+  const std::size_t base = total / nodes;
+  const std::size_t rem = total % nodes;
+  const std::size_t begin =
+      n * base + std::min<std::size_t>(n, rem);
+  return {begin, begin + base + (n < rem ? 1 : 0)};
+}
+
+/// One node's partial reduction as a sorted sparse (element, value) list.
+struct SparsePartial {
+  std::vector<std::uint32_t> idx;
+  std::vector<double> val;
+};
+
+/// Value-tracking state threaded through the task-graph engine. Only the
+/// representation the strategy combines over is populated.
+struct ValueCtx {
+  CombineOp op = CombineOp::kAdd;
+  std::vector<SparsePartial> partials;  ///< per node (combining/replication)
+  /// Owner-computes: contribs[src * N + dst] = (element, value) stream from
+  /// src's iterations into dst-owned elements, in iteration order.
+  std::vector<std::vector<std::pair<std::uint32_t, double>>> contribs;
+};
+
+/// Sorted-merge `src` into `dst` applying `op` on collisions (the tree
+/// combine of the message-combining strategy).
+void merge_sparse(SparsePartial& dst, const SparsePartial& src, CombineOp op) {
+  SparsePartial out;
+  out.idx.reserve(dst.idx.size() + src.idx.size());
+  out.val.reserve(dst.idx.size() + src.idx.size());
+  std::size_t a = 0, b = 0;
+  while (a < dst.idx.size() && b < src.idx.size()) {
+    if (dst.idx[a] < src.idx[b]) {
+      out.idx.push_back(dst.idx[a]);
+      out.val.push_back(dst.val[a]);
+      ++a;
+    } else if (src.idx[b] < dst.idx[a]) {
+      out.idx.push_back(src.idx[b]);
+      out.val.push_back(src.val[b]);
+      ++b;
+    } else {
+      out.idx.push_back(dst.idx[a]);
+      out.val.push_back(apply_op(op, dst.val[a], src.val[b]));
+      ++a;
+      ++b;
+    }
+  }
+  for (; a < dst.idx.size(); ++a) {
+    out.idx.push_back(dst.idx[a]);
+    out.val.push_back(dst.val[a]);
+  }
+  for (; b < src.idx.size(); ++b) {
+    out.idx.push_back(src.idx[b]);
+    out.val.push_back(src.val[b]);
+  }
+  dst = std::move(out);
+}
+
+/// The task-graph engine shared by timing-only and value-tracked runs:
+/// identical issue order and arithmetic, so both report identical times.
+DistRunResult run_engine(const DistWork& w, DistStrategy strategy,
+                         const ClusterConfig& cfg, ValueCtx* v) {
+  const unsigned N = w.nodes();
+  SAPP_REQUIRE(N >= 1, "cluster needs at least one node");
+  SAPP_REQUIRE(N == cfg.nodes, "DistWork sliced for a different node count");
+  const MachineCoeffs& mc = cfg.coeffs;
+
+  CommFabric fabric(N, cfg.link);
+  std::vector<double> done(N);
+  for (unsigned n = 0; n < N; ++n)
+    done[n] = partial_cost(strategy, w, n, cfg);
+  const double partial_s = *std::max_element(done.begin(), done.end());
+
+  switch (strategy) {
+    case DistStrategy::kCombining: {
+      // Binomial tree over any N: in each round, the node `stride` above a
+      // surviving node ships its (unioned) sparse partial down.
+      std::vector<std::uint64_t> payload(N);
+      for (unsigned n = 0; n < N; ++n) payload[n] = w.slices[n].distinct;
+      for (unsigned stride = 1; stride < N; stride *= 2) {
+        for (unsigned dst = 0; dst + stride < N; dst += 2 * stride) {
+          const unsigned src = dst + stride;
+          const double arrival = fabric.transfer(
+              src, dst, payload[src] * kEntryBytes, done[src]);
+          const double start = std::max(arrival, done[dst]);
+          // Scatter-merge of the incoming sparse list into the local one.
+          done[dst] = start + 1e-9 * static_cast<double>(payload[src]) *
+                                  (mc.ns_merge + mc.ns_slot);
+          payload[dst] = std::min<std::uint64_t>(
+              payload[dst] + payload[src], w.distinct_total);
+          if (v) merge_sparse(v->partials[dst], v->partials[src], v->op);
+        }
+      }
+      break;
+    }
+    case DistStrategy::kReplication: {
+      if (N > 1) {
+        // Ring all-reduce on dense chunks: N-1 reduce-scatter steps (the
+        // receiver combines the incoming chunk), then N-1 all-gather
+        // steps. Each step every node forwards one chunk to its
+        // successor, so both ports of every node are busy each step.
+        const std::size_t chunk = (w.dim + N - 1) / N;
+        const std::uint64_t chunk_bytes = chunk * kElemBytes;
+        const double combine_s =
+            1e-9 * static_cast<double>(chunk) * mc.ns_merge;
+        for (unsigned step = 0; step + 1 < 2 * N - 1; ++step) {
+          const bool reduce_scatter = step + 1 < N;
+          std::vector<double> next = done;
+          for (unsigned src = 0; src < N; ++src) {
+            const unsigned dst = (src + 1) % N;
+            const double arrival =
+                fabric.transfer(src, dst, chunk_bytes, done[src]);
+            const double start = std::max(arrival, done[dst]);
+            next[dst] = std::max(
+                next[dst], start + (reduce_scatter ? combine_s : 0.0));
+          }
+          done = std::move(next);
+        }
+      }
+      break;
+    }
+    case DistStrategy::kOwnerComputes: {
+      // One all-to-all hop: the per-destination messages were packed
+      // during the local phase, so every message is ready at its source's
+      // partial completion; the send port serializes the ladder. Owners
+      // apply incoming contributions on their compute timeline.
+      const std::vector<double> ready = done;
+      const std::size_t owned = N ? (w.dim + N - 1) / N : 0;
+      const double apply_ns =
+          static_cast<double>(owned) * sizeof(double) > 256.0 * 1024
+              ? mc.ns_update_far
+              : mc.ns_update;
+      for (unsigned k = 1; k < N; ++k) {
+        for (unsigned src = 0; src < N; ++src) {
+          const unsigned dst = (src + k) % N;
+          const std::uint64_t r = w.refs_to[src * N + dst];
+          if (r == 0) continue;  // nothing owned by dst was referenced
+          const double arrival =
+              fabric.transfer(src, dst, r * kEntryBytes, ready[src]);
+          const double start = std::max(arrival, done[dst]);
+          done[dst] = start + 1e-9 * static_cast<double>(r) * apply_ns;
+        }
+      }
+      break;
+    }
+  }
+
+  DistRunResult r;
+  r.strategy = strategy;
+  r.total_s = *std::max_element(done.begin(), done.end());
+  r.partial_s = partial_s;
+  r.exchange_s = r.total_s - partial_s;
+  r.messages = fabric.messages();
+  r.bytes = fabric.bytes_on_wire();
+  return r;
+}
+
+}  // namespace
+
+double neutral_of(CombineOp op) {
+  switch (op) {
+    case CombineOp::kAdd: return 0.0;
+    case CombineOp::kMax: return -std::numeric_limits<double>::infinity();
+    case CombineOp::kMin: return std::numeric_limits<double>::infinity();
+  }
+  return 0.0;
+}
+
+std::span<const DistStrategy> all_dist_strategies() {
+  static constexpr std::array<DistStrategy, 3> kAll = {
+      DistStrategy::kCombining, DistStrategy::kReplication,
+      DistStrategy::kOwnerComputes};
+  return kAll;
+}
+
+unsigned owner_of(std::size_t elem, std::size_t dim, unsigned nodes) {
+  SAPP_ASSERT(dim > 0 && elem < dim, "element out of range");
+  const std::size_t block = (dim + nodes - 1) / nodes;
+  return static_cast<unsigned>(
+      std::min<std::size_t>(elem / block, nodes - 1));
+}
+
+DistWork slice_work(const AccessPattern& p, unsigned nodes) {
+  SAPP_REQUIRE(nodes >= 1, "cluster needs at least one node");
+  DistWork w;
+  w.dim = p.dim;
+  w.body_flops = p.body_flops;
+  w.slices.resize(nodes);
+  w.refs_to.assign(static_cast<std::size_t>(nodes) * nodes, 0);
+
+  const auto& ptr = p.refs.row_ptr();
+  const auto& idx = p.refs.indices();
+  // Epoch-stamped distinct counting: stamp[e] holds node+1 for the slice
+  // pass, and a separate flag array tracks the global union.
+  std::vector<std::uint32_t> stamp(p.dim, 0);
+  std::vector<bool> seen(p.dim, false);
+  for (unsigned n = 0; n < nodes; ++n) {
+    const auto [begin, end] = iter_block(p.iterations(), nodes, n);
+    auto& s = w.slices[n];
+    s.iterations = end - begin;
+    for (std::size_t i = begin; i < end; ++i) {
+      for (std::uint64_t j = ptr[i]; j < ptr[i + 1]; ++j) {
+        const std::uint32_t e = idx[j];
+        ++s.refs;
+        ++w.refs_to[static_cast<std::size_t>(n) * nodes +
+                    owner_of(e, p.dim, nodes)];
+        if (stamp[e] != n + 1) {
+          stamp[e] = n + 1;
+          ++s.distinct;
+        }
+        if (!seen[e]) {
+          seen[e] = true;
+          ++w.distinct_total;
+        }
+      }
+    }
+  }
+  return w;
+}
+
+DistWork synth_work(std::size_t dim, std::size_t iterations, std::size_t refs,
+                    double sparsity, unsigned body_flops, unsigned nodes) {
+  SAPP_REQUIRE(nodes >= 1, "cluster needs at least one node");
+  SAPP_REQUIRE(sparsity > 0.0 && sparsity <= 1.0, "sparsity must be (0,1]");
+  DistWork w;
+  w.dim = dim;
+  w.body_flops = body_flops;
+  w.distinct_total = std::min(
+      {static_cast<std::size_t>(sparsity * static_cast<double>(dim)), dim,
+       refs});
+  w.slices.resize(nodes);
+  w.refs_to.assign(static_cast<std::size_t>(nodes) * nodes, 0);
+  for (unsigned n = 0; n < nodes; ++n) {
+    const auto [ib, ie] = iter_block(iterations, nodes, n);
+    const auto [rb, re] = iter_block(refs, nodes, n);
+    auto& s = w.slices[n];
+    s.iterations = ie - ib;
+    s.refs = re - rb;
+    s.distinct = std::min(s.refs, w.distinct_total);
+    // Uniform ownership: each remote owner gets an equal share.
+    const std::uint64_t each = nodes > 1 ? s.refs / nodes : 0;
+    std::uint64_t local = s.refs;
+    for (unsigned d = 0; d < nodes; ++d) {
+      if (d == n) continue;
+      w.refs_to[static_cast<std::size_t>(n) * nodes + d] = each;
+      local -= each;
+    }
+    w.refs_to[static_cast<std::size_t>(n) * nodes + n] = local;
+  }
+  return w;
+}
+
+PatternStats node_stats(const DistWork& w, unsigned node, unsigned cores) {
+  SAPP_REQUIRE(node < w.nodes(), "node out of range");
+  const auto& s = w.slices[node];
+  PatternStats st;
+  st.threads = std::max(1u, cores);
+  st.dim = w.dim;
+  st.iterations = s.iterations;
+  st.refs = s.refs;
+  st.distinct = s.distinct;
+  st.mo = s.iterations ? static_cast<double>(s.refs) /
+                             static_cast<double>(s.iterations)
+                       : 0.0;
+  st.con = s.distinct ? static_cast<double>(s.refs) /
+                            static_cast<double>(s.distinct)
+                      : 0.0;
+  st.sp = w.dim ? 100.0 * static_cast<double>(s.distinct) /
+                      static_cast<double>(w.dim)
+                : 0.0;
+  st.touched_per_thread =
+      static_cast<double>(s.distinct) / static_cast<double>(st.threads);
+  st.shared_fraction = 0.5;
+  st.lw_legal = false;  // the distributed strategies never replicate bodies
+  return st;
+}
+
+double partial_cost(DistStrategy strategy, const DistWork& w, unsigned node,
+                    const ClusterConfig& cfg) {
+  const MachineCoeffs& mc = cfg.coeffs;
+  const PatternStats st = node_stats(w, node, cfg.cores_per_node);
+  switch (strategy) {
+    case DistStrategy::kReplication:
+      // A full dim-sized private replica per node: exactly the intra-node
+      // rep-scheme cost surface.
+      return predict_cost(SchemeKind::kRep, st, w.body_flops, mc).total();
+    case DistStrategy::kCombining:
+      // Compact private accumulation (the hash-scheme surface) plus one
+      // sweep emitting the sorted (index, value) message list.
+      return predict_cost(SchemeKind::kHash, st, w.body_flops, mc).total() +
+             1e-9 * static_cast<double>(w.slices[node].distinct) * mc.ns_slot;
+    case DistStrategy::kOwnerComputes: {
+      // Inspector classifies every reference by owner; the sweep computes
+      // each contribution and either applies it locally or packs it.
+      const double C = static_cast<double>(std::max(1u, cfg.cores_per_node));
+      const auto& s = w.slices[node];
+      const double ns =
+          mc.fork_join_us * 1e3 +
+          static_cast<double>(s.iterations) * w.body_flops * mc.ns_flop / C +
+          static_cast<double>(s.refs) *
+              (mc.ns_inspect + mc.ns_update + mc.ns_slot) / C;
+      return 1e-9 * ns;
+    }
+  }
+  return 0.0;
+}
+
+DistRunResult simulate_strategy(const DistWork& work, DistStrategy strategy,
+                                const ClusterConfig& cfg) {
+  return run_engine(work, strategy, cfg, nullptr);
+}
+
+DistRunResult simulate_distributed(const ReductionInput& in, CombineOp op,
+                                   DistStrategy strategy,
+                                   const ClusterConfig& cfg) {
+  SAPP_REQUIRE(in.consistent(), "values/pattern size mismatch");
+  const AccessPattern& p = in.pattern;
+  const unsigned N = cfg.nodes;
+  const DistWork work = slice_work(p, N);
+  const auto& ptr = p.refs.row_ptr();
+  const auto& idx = p.refs.indices();
+
+  ValueCtx v;
+  v.op = op;
+  const bool sparse_partials = strategy != DistStrategy::kOwnerComputes;
+  if (sparse_partials) {
+    // Build each node's partial with a dense scratch + touched list, then
+    // compact to a sorted sparse list (deterministic element order).
+    v.partials.resize(N);
+    std::vector<double> scratch(p.dim, 0.0);
+    std::vector<std::uint32_t> stamp(p.dim, 0);
+    std::vector<std::uint32_t> touched;
+    for (unsigned n = 0; n < N; ++n) {
+      touched.clear();
+      const auto [begin, end] = iter_block(p.iterations(), N, n);
+      for (std::size_t i = begin; i < end; ++i) {
+        const double s = iteration_scale(i, p.body_flops);
+        for (std::uint64_t j = ptr[i]; j < ptr[i + 1]; ++j) {
+          const std::uint32_t e = idx[j];
+          const double c = in.values[j] * s;
+          if (stamp[e] == n + 1) {
+            scratch[e] = apply_op(op, scratch[e], c);
+          } else {
+            stamp[e] = n + 1;
+            scratch[e] = c;
+            touched.push_back(e);
+          }
+        }
+      }
+      std::sort(touched.begin(), touched.end());
+      auto& part = v.partials[n];
+      part.idx.reserve(touched.size());
+      part.val.reserve(touched.size());
+      for (const std::uint32_t e : touched) {
+        part.idx.push_back(e);
+        part.val.push_back(scratch[e]);
+      }
+    }
+  } else {
+    v.contribs.resize(static_cast<std::size_t>(N) * N);
+    for (unsigned n = 0; n < N; ++n) {
+      const auto [begin, end] = iter_block(p.iterations(), N, n);
+      for (std::size_t i = begin; i < end; ++i) {
+        const double s = iteration_scale(i, p.body_flops);
+        for (std::uint64_t j = ptr[i]; j < ptr[i + 1]; ++j) {
+          const std::uint32_t e = idx[j];
+          v.contribs[static_cast<std::size_t>(n) * N +
+                     owner_of(e, p.dim, N)]
+              .emplace_back(e, in.values[j] * s);
+        }
+      }
+    }
+  }
+
+  DistRunResult r = run_engine(work, strategy, cfg, &v);
+  r.w.assign(p.dim, neutral_of(op));
+  switch (strategy) {
+    case DistStrategy::kCombining:
+      // The tree left the full combined partial at node 0.
+      for (std::size_t k = 0; k < v.partials[0].idx.size(); ++k)
+        r.w[v.partials[0].idx[k]] = v.partials[0].val[k];
+      break;
+    case DistStrategy::kReplication: {
+      // Ring reduce-scatter semantics: chunk c is folded along the ring
+      // starting at node (c+1) mod N and ending at its final owner c.
+      const std::size_t chunk = (p.dim + N - 1) / N;
+      for (unsigned c = 0; c < N && p.dim > 0; ++c) {
+        const std::uint32_t lo = static_cast<std::uint32_t>(
+            std::min<std::size_t>(p.dim, c * chunk));
+        const std::uint32_t hi = static_cast<std::uint32_t>(
+            std::min<std::size_t>(p.dim, (c + 1) * chunk));
+        if (lo == hi) continue;
+        for (unsigned t = 0; t < N; ++t) {
+          const auto& part = v.partials[(c + 1 + t) % N];
+          const auto first = std::lower_bound(part.idx.begin(),
+                                              part.idx.end(), lo);
+          for (auto it = first; it != part.idx.end() && *it < hi; ++it) {
+            const std::size_t k =
+                static_cast<std::size_t>(it - part.idx.begin());
+            r.w[*it] = r.w[*it] == neutral_of(op) && op == CombineOp::kAdd
+                           ? part.val[k]
+                           : apply_op(op, r.w[*it], part.val[k]);
+          }
+        }
+      }
+      break;
+    }
+    case DistStrategy::kOwnerComputes:
+      // Each owner applies its local stream first, then the incoming
+      // messages in ladder order (the order they are scheduled above).
+      for (unsigned dst = 0; dst < N; ++dst) {
+        for (unsigned k = 0; k < N; ++k) {
+          const unsigned src = (dst + N - k) % N;  // k=0 is the local stream
+          for (const auto& [e, c] :
+               v.contribs[static_cast<std::size_t>(src) * N + dst]) {
+            r.w[e] = r.w[e] == neutral_of(op) && op == CombineOp::kAdd
+                         ? c
+                         : apply_op(op, r.w[e], c);
+          }
+        }
+      }
+      break;
+  }
+  return r;
+}
+
+}  // namespace sapp::sim

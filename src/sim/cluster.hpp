@@ -1,0 +1,170 @@
+// Cluster-level machine model: N nodes, each summarized by the calibrated
+// analytic per-node cost surface (core/cost_model.hpp MachineCoeffs — the
+// same surface the shared-memory decision model prices schemes with),
+// connected by the port-contended link fabric of sim/comm.hpp.
+//
+// On top of the model, the three distributed reduction strategies are
+// implemented as deterministic simulated task graphs:
+//
+//   combining    — message-combining: each node accumulates a *compact*
+//                  private partial (priced through the hash-scheme surface),
+//                  then the sparse (index,value) partials combine up a
+//                  binomial tree, unioning as they go. N-1 messages,
+//                  payload ~ touched elements × 12 B, result at node 0.
+//   replication  — full replication: each node accumulates a full dim-sized
+//                  private replica (priced through the rep-scheme surface),
+//                  then a ring all-reduce (N-1 reduce-scatter steps +
+//                  N-1 all-gather steps) leaves the complete result on
+//                  every node. 2·N·(N-1) messages of dim/N dense chunks —
+//                  bandwidth-optimal on large dense reductions.
+//   owner        — owner-computes: elements are block-partitioned across
+//                  nodes; each node scans its iterations, applies local
+//                  contributions and shuffles remote ones (12 B per
+//                  reference) directly to their owners, which apply them.
+//                  One all-to-all hop, N·(N-1) messages, result distributed
+//                  across the owners.
+//
+// The simulation is pure and bitwise run-to-run deterministic: task issue
+// order is fixed, time is double seconds, and no wall clock is read. It can
+// optionally *track the reduction values* through the task graphs (the same
+// way sim::Machine tracks w_memory through PCLR combines) so correctness is
+// checked against the sequential reference, not assumed.
+//
+// docs/distributed.md walks through the model and the strategy-crossover
+// frontier; src/core/distributed_cost.hpp packages it for the decision
+// machinery.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "core/cost_model.hpp"
+#include "reductions/access_pattern.hpp"
+#include "sim/comm.hpp"
+#include "sim/config.hpp"
+
+namespace sapp::sim {
+
+/// The combine operation, shared with the intra-node simulator (§5.1.4:
+/// one operation per parallel section).
+using CombineOp = MachineConfig::CombineOp;
+
+[[nodiscard]] double neutral_of(CombineOp op);
+
+/// The distributed reduction strategies the cluster model prices.
+enum class DistStrategy {
+  kCombining,     ///< message-combining tree of sparse partials
+  kReplication,   ///< full replication + ring all-reduce
+  kOwnerComputes, ///< shuffle contributions to block owners
+};
+
+[[nodiscard]] constexpr std::string_view to_string(DistStrategy s) {
+  switch (s) {
+    case DistStrategy::kCombining: return "combining";
+    case DistStrategy::kReplication: return "replication";
+    case DistStrategy::kOwnerComputes: return "owner-computes";
+  }
+  return "?";
+}
+
+[[nodiscard]] std::span<const DistStrategy> all_dist_strategies();
+
+/// The simulated cluster: node count, per-node core count (the intra-node
+/// cost surface is evaluated at this thread count), link parameters, and
+/// the calibrated (or default) per-node machine coefficients.
+struct ClusterConfig {
+  unsigned nodes = 4;
+  unsigned cores_per_node = 8;
+  LinkConfig link;
+  MachineCoeffs coeffs = MachineCoeffs::defaults();
+};
+
+/// Bytes of one sparse contribution on the wire (4 B element index +
+/// 8 B value) — combining payloads and owner-computes shuffles.
+inline constexpr std::uint64_t kEntryBytes = 12;
+/// Bytes of one dense replica element (replication chunks).
+inline constexpr std::uint64_t kElemBytes = sizeof(double);
+
+/// Timing-only description of one reduction distributed over node slices
+/// (contiguous iteration blocks — the same block schedule the shared-memory
+/// schemes use). Built exactly from a pattern (`slice_work`) or estimated
+/// from aggregate shape parameters (`synth_work`).
+struct DistWork {
+  std::size_t dim = 0;
+  unsigned body_flops = 0;
+  std::size_t distinct_total = 0;  ///< distinct elements over all slices
+
+  struct Slice {
+    std::size_t iterations = 0;
+    std::size_t refs = 0;
+    std::size_t distinct = 0;  ///< distinct elements in this slice
+  };
+  std::vector<Slice> slices;  ///< size == nodes
+
+  /// Row-major nodes×nodes: refs_to[src*nodes+dst] = references issued by
+  /// src's iterations into elements owned by dst (owner-computes volume;
+  /// the diagonal is the local fraction).
+  std::vector<std::uint64_t> refs_to;
+
+  [[nodiscard]] unsigned nodes() const {
+    return static_cast<unsigned>(slices.size());
+  }
+};
+
+/// Exact per-node slice statistics of `p` over `nodes` iteration blocks.
+[[nodiscard]] DistWork slice_work(const AccessPattern& p, unsigned nodes);
+
+/// Analytic estimate from aggregate shape parameters: uniform slices,
+/// uniform ownership (refs spread evenly over owners), per-slice distinct
+/// capped by the total. `sparsity` = distinct/dim in (0, 1].
+[[nodiscard]] DistWork synth_work(std::size_t dim, std::size_t iterations,
+                                  std::size_t refs, double sparsity,
+                                  unsigned body_flops, unsigned nodes);
+
+/// Block owner of element `elem` among `nodes` (blocks of ceil(dim/nodes)).
+[[nodiscard]] unsigned owner_of(std::size_t elem, std::size_t dim,
+                                unsigned nodes);
+
+/// The PatternStats one node's slice is priced with (threads = cores).
+[[nodiscard]] PatternStats node_stats(const DistWork& w, unsigned node,
+                                      unsigned cores);
+
+/// Local-phase (pre-exchange) cost of `node` under `strategy`, in seconds:
+/// replication prices through predict_cost(kRep), combining through
+/// predict_cost(kHash) plus the message-emit sweep, owner-computes pays an
+/// inspector + pack/apply sweep. A single-node cluster is exactly this —
+/// the intra-node model's cost with zero communication.
+[[nodiscard]] double partial_cost(DistStrategy strategy, const DistWork& w,
+                                  unsigned node, const ClusterConfig& cfg);
+
+/// Result of one simulated distributed reduction.
+struct DistRunResult {
+  DistStrategy strategy{};
+  double total_s = 0.0;     ///< completion of the last task
+  double partial_s = 0.0;   ///< completion of the slowest local partial
+  double exchange_s = 0.0;  ///< total_s - partial_s (comm + combine)
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;  ///< payload bytes that crossed the fabric
+  /// Tracked reduction values (simulate_distributed only; untouched
+  /// elements hold the op's neutral element). Empty for timing-only runs.
+  std::vector<double> w;
+};
+
+/// Pure timing simulation of one strategy's task graph over `work`.
+[[nodiscard]] DistRunResult simulate_strategy(const DistWork& work,
+                                              DistStrategy strategy,
+                                              const ClusterConfig& cfg);
+
+/// Timing + value tracking: partition `in`'s iterations into cfg.nodes
+/// contiguous blocks, run the strategy task graph, and fold the tracked
+/// contribution values (values[j] * iteration_scale(i, body_flops), exactly
+/// as run_sequential computes them) with `op` along the graph's combine
+/// edges. Timing is identical to simulate_strategy on slice_work(in).
+[[nodiscard]] DistRunResult simulate_distributed(const ReductionInput& in,
+                                                 CombineOp op,
+                                                 DistStrategy strategy,
+                                                 const ClusterConfig& cfg);
+
+}  // namespace sapp::sim

@@ -1,0 +1,25 @@
+#include "sim/comm.hpp"
+
+#include <algorithm>
+
+namespace sapp::sim {
+
+double CommFabric::transfer(unsigned src, unsigned dst, std::uint64_t bytes,
+                            double ready_s) {
+  SAPP_REQUIRE(src < nodes() && dst < nodes(), "endpoint out of range");
+  if (src == dst) return ready_s;  // never leaves the node
+  const double occ = occupancy_s(bytes);
+  // The message starts serializing when the payload is ready AND both the
+  // source send port and the destination receive port are free; it holds
+  // both for the serialization time. This is the port-only contention
+  // granularity of the intra-node simulator, lifted to the cluster.
+  const double start =
+      std::max({ready_s, send_busy_[src], recv_busy_[dst]});
+  send_busy_[src] = start + occ;
+  recv_busy_[dst] = start + occ;
+  ++messages_;
+  bytes_ += bytes;
+  return start + occ + link_.latency_s;
+}
+
+}  // namespace sapp::sim

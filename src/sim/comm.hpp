@@ -1,0 +1,78 @@
+// Inter-node communication fabric for the cluster-level machine model.
+//
+// A deterministic, bandwidth/latency-parameterized link model in the style
+// of comp+comm device simulators: every node owns one send port and one
+// receive port, each a monotone busy-until timeline. A transfer reserves
+// both ports for its serialization time (per-message software overhead +
+// bytes / bandwidth) and arrives one wire latency after the serialization
+// starts clears. Contention is modeled at the source and destination ports
+// only — the same granularity as the intra-node simulator (sim/machine.hpp),
+// whose network models contention "only at the source and destination
+// ports". The network core is contentionless.
+//
+// Time is in seconds (double): the cluster model prices node-local compute
+// through the calibrated analytic MachineCoeffs surface, which is also in
+// (nano)seconds, so no cycle clock is needed at this level. All arithmetic
+// is pure and input-ordered, so a fabric replay is bitwise reproducible.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace sapp::sim {
+
+/// One point-to-point link class: every node pair is connected by a link
+/// with these parameters (a flat network; topology-aware fabrics slot in
+/// behind the same transfer() interface).
+struct LinkConfig {
+  double latency_s = 5e-6;        ///< wire flight time per message
+  double bytes_per_s = 12.5e9;    ///< serialization bandwidth (100 Gbit/s)
+  double per_message_s = 2e-6;    ///< software send/recv overhead per message
+
+  /// Named presets used by the `distributed` experiment sweep.
+  [[nodiscard]] static LinkConfig ethernet_10g() {
+    return {25e-6, 1.25e9, 10e-6};
+  }
+  [[nodiscard]] static LinkConfig hpc_100g() { return {5e-6, 12.5e9, 2e-6}; }
+  [[nodiscard]] static LinkConfig fabric_800g() { return {2e-6, 100e9, 1e-6}; }
+};
+
+/// Port-contended flat fabric over `nodes` endpoints.
+class CommFabric {
+ public:
+  CommFabric(unsigned nodes, LinkConfig link)
+      : link_(link), send_busy_(nodes, 0.0), recv_busy_(nodes, 0.0) {
+    SAPP_REQUIRE(nodes >= 1, "fabric needs at least one node");
+    SAPP_REQUIRE(link.bytes_per_s > 0.0, "link bandwidth must be positive");
+  }
+
+  /// Schedule a transfer of `bytes` from `src` to `dst`, whose payload is
+  /// ready at `ready_s`. Returns the arrival time at `dst`. A node-local
+  /// transfer (src == dst) is free: the data never leaves the node.
+  double transfer(unsigned src, unsigned dst, std::uint64_t bytes,
+                  double ready_s);
+
+  [[nodiscard]] unsigned nodes() const {
+    return static_cast<unsigned>(send_busy_.size());
+  }
+  [[nodiscard]] const LinkConfig& link() const { return link_; }
+  [[nodiscard]] std::uint64_t messages() const { return messages_; }
+  [[nodiscard]] std::uint64_t bytes_on_wire() const { return bytes_; }
+  /// Serialization time of one message of `bytes` (no queueing).
+  [[nodiscard]] double occupancy_s(std::uint64_t bytes) const {
+    return link_.per_message_s +
+           static_cast<double>(bytes) / link_.bytes_per_s;
+  }
+
+ private:
+  LinkConfig link_;
+  std::vector<double> send_busy_;  ///< source-port timelines
+  std::vector<double> recv_busy_;  ///< destination-port timelines
+  std::uint64_t messages_ = 0;
+  std::uint64_t bytes_ = 0;
+};
+
+}  // namespace sapp::sim

@@ -1,0 +1,95 @@
+// Cluster-mix generators — the three workload regimes the `sapp_repro
+// distributed` experiment sweeps over node count × link class.
+//
+// Each regime is a differently-shaped instantiation of the synthetic
+// reference-pattern engine, chosen so the distributed strategy ranking
+// *changes* somewhere inside the sweep (the crossover frontier the
+// committed reference tables pin down):
+//
+//   dense  — the touched set is essentially the whole (modest) array and
+//            every element is hit many times. Dense ring all-reduce moves
+//            dim/N-sized chunks and wins once per-node partial work
+//            dominates; sparse strategies would ship ~dim entries at 12 B
+//            each anyway.
+//   mid    — refs ≈ dim, half the array touched: no strategy dominates,
+//            the winner flips with node count and link class.
+//   sparse — a tiny touched set inside a huge index space (Spice-like).
+//            Dense replication must still stream ceil(dim/N)·8 B chunks
+//            around the ring, while combining/owner-computes ship only the
+//            few live entries — the link class decides between those two.
+#include <algorithm>
+
+#include "workloads/workload.hpp"
+
+namespace sapp::workloads {
+
+Workload make_cluster_workload(ClusterShape shape, double scale,
+                               std::uint64_t seed) {
+  SynthParams p;
+  p.seed = seed;
+  // Dimensions scale with `scale` (floored) so each regime keeps its
+  // refs/dim and distinct/dim signature — and therefore its place on the
+  // crossover frontier — from --tiny smoke runs up to full size.
+  switch (shape) {
+    case ClusterShape::kDense:
+      p.dim = std::max<std::size_t>(
+          2048, static_cast<std::size_t>((1 << 16) * scale));
+      p.distinct = p.dim - p.dim / 16;  // ~94% of the array touched
+      p.iterations = std::max<std::size_t>(
+          200'000, static_cast<std::size_t>(1'000'000 * scale));
+      p.refs_per_iter = 2;  // heavy reuse: refs >> dim
+      // Histogram-style scatter: iteration order carries no element
+      // locality, so every iteration block references the whole array
+      // (remote fraction ~ (N-1)/N under block ownership).
+      p.sort_iterations = false;
+      p.locality = 0.2;
+      p.body_flops = 4;
+      break;
+    case ClusterShape::kMid:
+      p.dim = std::max<std::size_t>(
+          8192, static_cast<std::size_t>((1 << 19) * scale));
+      p.distinct = p.dim / 2;  // half the array live
+      p.iterations = std::max<std::size_t>(
+          65'536, static_cast<std::size_t>(500'000 * scale));
+      p.refs_per_iter = 1;
+      p.zipf_theta = 0.4;
+      p.locality = 0.7;
+      p.body_flops = 6;
+      break;
+    case ClusterShape::kSparse:
+      p.dim = std::max<std::size_t>(
+          65'536, static_cast<std::size_t>((1 << 21) * scale));
+      // A tiny globally-hot set (~0.05% of the array) hit over and over:
+      // Spice-like device loading. Every node accumulates into the same
+      // few elements, so sparse partials stay small while a per-reference
+      // shuffle would ship the full reference stream.
+      p.distinct = std::max<std::size_t>(512, p.dim / 2048);
+      p.iterations = std::max<std::size_t>(
+          20'000, static_cast<std::size_t>(80'000 * scale));
+      p.refs_per_iter = 4;
+      p.zipf_theta = 0.6;
+      // Hot elements are globally hot, not block-local: owners are spread
+      // over the cluster regardless of the iteration partition.
+      p.sort_iterations = false;
+      p.locality = 0.4;
+      p.body_flops = 8;
+      break;
+  }
+  p.distinct = std::min(
+      {p.distinct, p.dim,
+       p.iterations * static_cast<std::size_t>(p.refs_per_iter)});
+
+  Workload w;
+  w.app = "cluster";
+  w.loop = to_string(shape);
+  w.variant = "dim=" + std::to_string(p.dim) +
+              " iters=" + std::to_string(p.iterations) +
+              " distinct=" + std::to_string(p.distinct);
+  w.input = make_synthetic(p);
+  w.instr_per_iter = 30 + p.body_flops * 2;
+  w.invocations = 1;
+  tag_site(w);
+  return w;
+}
+
+}  // namespace sapp::workloads

@@ -171,6 +171,32 @@ struct LoopWorkload {
 [[nodiscard]] Workload make_serving_site(std::size_t index, double scale,
                                          std::uint64_t seed);
 
+// ---- Cluster mix (distributed strategy sweep) --------------------------
+
+/// The three workload regimes the `distributed` experiment sweeps across
+/// node count × link class — chosen to straddle the strategy crossovers
+/// (see docs/distributed.md).
+enum class ClusterShape {
+  kDense,   ///< touches ~the whole array, heavy reuse → replication regime
+  kMid,     ///< moderate sparsity, balanced refs/dim → contested middle
+  kSparse,  ///< tiny touched set in a huge array → combining/owner regime
+};
+
+[[nodiscard]] constexpr const char* to_string(ClusterShape s) {
+  switch (s) {
+    case ClusterShape::kDense: return "dense";
+    case ClusterShape::kMid: return "mid";
+    case ClusterShape::kSparse: return "sparse";
+  }
+  return "?";
+}
+
+/// Synthetic-engine instantiation of one cluster regime, scaled by the
+/// repro harness's `--scale` (iteration count and reference volume shrink;
+/// the regime's sparsity signature is preserved). Tagged "cluster/<shape>".
+[[nodiscard]] Workload make_cluster_workload(ClusterShape shape, double scale,
+                                             std::uint64_t seed);
+
 // ---- Application generators (hardware study, Table 2) ------------------
 
 /// EULER dflux do100 (HPF-2): flux accumulation over unstructured-mesh

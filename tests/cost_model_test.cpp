@@ -168,5 +168,92 @@ TEST(CostModel, PredictAllContainsExactlyTheCandidates) {
   }
 }
 
+// ---- Ranking stability ---------------------------------------------------
+// A pinned table of known inputs -> expected full scheme ranking under the
+// default coefficients. These regimes are far from every decision boundary,
+// so the orders must survive coefficient tweaks that merely reshuffle
+// near-ties; a failure here means the predictor's *shape* changed, which
+// has to be a deliberate decision (update the table in the same commit).
+
+PatternStats ranking_stats(std::size_t dim, std::size_t iters,
+                           std::size_t refs, std::size_t distinct,
+                           unsigned threads, bool lw_legal,
+                           double shared_fraction) {
+  PatternStats s;
+  s.threads = threads;
+  s.dim = dim;
+  s.iterations = iters;
+  s.refs = refs;
+  s.distinct = distinct;
+  s.mo = iters ? static_cast<double>(refs) / static_cast<double>(iters) : 0;
+  s.con = distinct
+              ? static_cast<double>(refs) / static_cast<double>(distinct)
+              : 0;
+  s.sp = dim ? 100.0 * static_cast<double>(distinct) /
+                   static_cast<double>(dim)
+             : 0;
+  s.dim_ratio = refs ? static_cast<double>(dim) / static_cast<double>(refs)
+                     : 0;
+  s.touched_per_thread = static_cast<double>(distinct) / threads;
+  s.shared_fraction = shared_fraction;
+  s.lw_replication = 1.3;
+  s.lw_imbalance = 1.1;
+  s.lw_legal = lw_legal;
+  s.chd_gini = 0.3;
+  s.chr = 0.4;
+  return s;
+}
+
+TEST(CostModel, RankingStabilityPinnedTable) {
+  struct Scenario {
+    const char* name;
+    PatternStats stats;
+    unsigned flops;
+    std::vector<SchemeKind> expected;  // best first, full order
+  };
+  using K = SchemeKind;
+  const Scenario table[] = {
+      // Small dense array, heavy reuse: private full replicas win.
+      {"dense_reuse",
+       ranking_stats(1 << 13, 1 << 20, 1 << 21, (1 << 13) - 512, 8, true,
+                     0.8),
+       4,
+       {K::kRep, K::kLinked, K::kHash, K::kSelective, K::kLocalWrite}},
+      // Tiny hot set in a huge array: compact hash accumulation wins and
+      // full replication is hopeless (dim-sized init+merge per thread).
+      {"sparse_hot",
+       ranking_stats(1 << 21, 1 << 16, 1 << 18, 1 << 10, 8, true, 0.2),
+       8,
+       {K::kHash, K::kLocalWrite, K::kSelective, K::kLinked, K::kRep}},
+      // Huge scatter with replication illegal: lw must sort dead last.
+      {"huge_scatter",
+       ranking_stats(1 << 22, 1 << 15, 1 << 15, 1 << 14, 8, false, 0.5),
+       2,
+       {K::kHash, K::kSelective, K::kLinked, K::kRep, K::kLocalWrite}},
+      // Balanced middle: hash still leads, rep trails on the merge.
+      {"mid_balanced",
+       ranking_stats(1 << 17, 1 << 18, 1 << 18, 1 << 16, 8, true, 0.5),
+       6,
+       {K::kHash, K::kLocalWrite, K::kLinked, K::kSelective, K::kRep}},
+      // Single thread, tiny loop: owner-replay (lw) has no merge at all.
+      {"tiny_serial",
+       ranking_stats(256, 512, 1024, 128, 1, true, 0.5),
+       2,
+       {K::kLocalWrite, K::kRep, K::kLinked, K::kSelective, K::kHash}},
+  };
+  for (const Scenario& sc : table) {
+    const auto all = predict_all(sc.stats, sc.flops, kMc);
+    ASSERT_EQ(all.size(), sc.expected.size()) << sc.name;
+    for (std::size_t i = 0; i < all.size(); ++i) {
+      EXPECT_EQ(all[i].scheme, sc.expected[i])
+          << sc.name << ": rank " << i << " is " << to_string(all[i].scheme)
+          << ", expected " << to_string(sc.expected[i]);
+    }
+  }
+  // Inapplicable schemes must sort last regardless of their raw cost.
+  const auto scatter = predict_all(table[2].stats, table[2].flops, kMc);
+  EXPECT_FALSE(scatter.back().applicable);
+}
+
 }  // namespace
 }  // namespace sapp

@@ -1,0 +1,175 @@
+// Differential conformance of the distributed strategies (sim/cluster.hpp).
+//
+// A randomized grid of (strategy x operator x node count x dimension x
+// seed) cases asserts the values tracked through each strategy's task
+// graph agree with the sequential reference:
+//
+//   * max/min — bitwise equal: comparisons never round, so any combine
+//     order along the tree / ring / shuffle yields the identical double;
+//   * sum — error-bounded per element: the graphs reassociate the
+//     per-element accumulation (per-node partials in iteration order,
+//     then a deterministic cross-node fold), so the check is the standard
+//     reassociated-summation bound |got - ref| <=
+//     (4 + n_e) * eps * Sigma|contribution_e| + denorm_min, with n_e the
+//     element's contribution count plus one fold per node.
+//
+// Untouched elements must hold the operator's neutral element exactly
+// (0 / -inf / +inf), matching the intra-node simulator's convention.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "sim/cluster.hpp"
+#include "workloads/workload.hpp"
+
+namespace sapp::sim {
+namespace {
+
+struct GridCase {
+  std::size_t dim;
+  std::size_t iterations;
+  unsigned refs_per_iter;
+  double distinct_frac;
+  double zipf;
+  bool sorted;
+  std::uint64_t seed;
+};
+
+constexpr GridCase kCases[] = {
+    {64, 200, 1, 1.0, 0.0, true, 1},
+    {257, 900, 2, 0.5, 0.4, false, 2},     // odd dim: ragged owner blocks
+    {1024, 3000, 3, 0.1, 0.8, false, 3},   // skewed sparse scatter
+    {4096, 2000, 1, 0.02, 0.6, false, 4},  // tiny hot set
+    {512, 1, 4, 0.2, 0.0, true, 5},        // single iteration
+    {2048, 5000, 2, 0.9, 0.2, true, 6},    // near-dense
+};
+
+constexpr unsigned kNodeCounts[] = {1, 2, 3, 5, 8, 16};
+
+ReductionInput build_case(const GridCase& c) {
+  workloads::SynthParams p;
+  p.dim = c.dim;
+  p.distinct = std::max<std::size_t>(
+      1, static_cast<std::size_t>(static_cast<double>(c.dim) *
+                                  c.distinct_frac));
+  p.iterations = c.iterations;
+  p.refs_per_iter = c.refs_per_iter;
+  p.zipf_theta = c.zipf;
+  p.sort_iterations = c.sorted;
+  p.locality = 0.5;
+  p.body_flops = 3;
+  p.seed = 0xC0FFEE ^ c.seed;
+  return workloads::make_synthetic(p);
+}
+
+/// Sequential fold of every contribution with `op`, from neutral, in
+/// iteration order — for kAdd identical to run_sequential over zeros.
+std::vector<double> reference(const ReductionInput& in, CombineOp op) {
+  std::vector<double> w(in.pattern.dim, neutral_of(op));
+  const auto& ptr = in.pattern.refs.row_ptr();
+  const auto& idx = in.pattern.refs.indices();
+  for (std::size_t i = 0; i < in.pattern.iterations(); ++i) {
+    const double s = iteration_scale(i, in.pattern.body_flops);
+    for (std::uint64_t j = ptr[i]; j < ptr[i + 1]; ++j) {
+      const double c = in.values[j] * s;
+      switch (op) {
+        case CombineOp::kAdd:
+          w[idx[j]] = w[idx[j]] == neutral_of(op) ? c : w[idx[j]] + c;
+          break;
+        case CombineOp::kMax: w[idx[j]] = std::max(w[idx[j]], c); break;
+        case CombineOp::kMin: w[idx[j]] = std::min(w[idx[j]], c); break;
+      }
+    }
+  }
+  return w;
+}
+
+TEST(DistributedDifferential, SumWithinReassociationBound) {
+  for (const GridCase& c : kCases) {
+    const ReductionInput in = build_case(c);
+    // Per-element contribution count and absolute sum for the bound.
+    std::vector<double> abs_sum(c.dim, 0.0);
+    std::vector<std::size_t> cnt(c.dim, 0);
+    const auto& ptr = in.pattern.refs.row_ptr();
+    const auto& idx = in.pattern.refs.indices();
+    for (std::size_t i = 0; i < in.pattern.iterations(); ++i) {
+      const double s = iteration_scale(i, in.pattern.body_flops);
+      for (std::uint64_t j = ptr[i]; j < ptr[i + 1]; ++j) {
+        abs_sum[idx[j]] += std::abs(in.values[j] * s);
+        ++cnt[idx[j]];
+      }
+    }
+    std::vector<double> ref(c.dim, 0.0);
+    run_sequential(in, ref);
+
+    for (const unsigned nodes : kNodeCounts) {
+      const ClusterConfig cfg{nodes, 8, {}, MachineCoeffs::defaults()};
+      for (const DistStrategy s : all_dist_strategies()) {
+        const DistRunResult r =
+            simulate_distributed(in, CombineOp::kAdd, s, cfg);
+        ASSERT_EQ(r.w.size(), c.dim);
+        const double eps = std::numeric_limits<double>::epsilon();
+        for (std::size_t e = 0; e < c.dim; ++e) {
+          const double bound =
+              (4.0 + static_cast<double>(cnt[e] + nodes)) * eps *
+                  abs_sum[e] +
+              std::numeric_limits<double>::denorm_min();
+          ASSERT_NEAR(r.w[e], ref[e], bound)
+              << to_string(s) << " nodes=" << nodes << " seed=" << c.seed
+              << " element=" << e;
+        }
+      }
+    }
+  }
+}
+
+TEST(DistributedDifferential, MinMaxAreBitwiseExact) {
+  for (const GridCase& c : kCases) {
+    const ReductionInput in = build_case(c);
+    for (const CombineOp op : {CombineOp::kMin, CombineOp::kMax}) {
+      const std::vector<double> ref = reference(in, op);
+      for (const unsigned nodes : kNodeCounts) {
+        const ClusterConfig cfg{nodes, 8, {}, MachineCoeffs::defaults()};
+        for (const DistStrategy s : all_dist_strategies()) {
+          const DistRunResult r = simulate_distributed(in, op, s, cfg);
+          ASSERT_EQ(r.w.size(), c.dim);
+          for (std::size_t e = 0; e < c.dim; ++e) {
+            ASSERT_EQ(std::memcmp(&r.w[e], &ref[e], sizeof(double)), 0)
+                << to_string(s) << " op=" << static_cast<int>(op)
+                << " nodes=" << nodes << " seed=" << c.seed
+                << " element=" << e;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(DistributedDifferential, UntouchedElementsHoldTheNeutral) {
+  // The sparse scatter leaves most of the array untouched: every strategy
+  // must report exactly the neutral there, never a stray zero/garbage.
+  const GridCase c = kCases[3];
+  const ReductionInput in = build_case(c);
+  std::vector<bool> touched(c.dim, false);
+  for (const std::uint32_t e : in.pattern.refs.indices()) touched[e] = true;
+  for (const CombineOp op :
+       {CombineOp::kAdd, CombineOp::kMin, CombineOp::kMax}) {
+    const double neutral = neutral_of(op);
+    for (const DistStrategy s : all_dist_strategies()) {
+      const ClusterConfig cfg{5, 8, {}, MachineCoeffs::defaults()};
+      const DistRunResult r = simulate_distributed(in, op, s, cfg);
+      for (std::size_t e = 0; e < c.dim; ++e) {
+        if (touched[e]) continue;
+        ASSERT_EQ(std::memcmp(&r.w[e], &neutral, sizeof(double)), 0)
+            << to_string(s) << " element " << e;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sapp::sim

@@ -141,7 +141,7 @@ TEST(ExperimentRegistry, BuiltinExperimentsAreStable) {
       "overhead",                "adaptive_sites",
       "phase_drift",             "serving",
       "checking",                "kernels",
-      "simplify",
+      "simplify",                "distributed",
   };
   const auto& reg = builtin_experiments();
   ASSERT_GE(reg.size(), 9u);
